@@ -1,0 +1,291 @@
+package iris
+
+// This file regenerates the paper's evaluation as Go benchmarks: one
+// benchmark per table/figure (see DESIGN.md's per-experiment index), plus
+// micro-benchmarks for the planner's hot algorithms. Benchmarks report
+// the headline metric of their figure via b.ReportMetric so `go test
+// -bench` output doubles as a results table.
+
+import (
+	"math/rand"
+	"testing"
+
+	"iris/internal/experiments"
+	"iris/internal/fibermap"
+	"iris/internal/flowsim"
+	"iris/internal/graph"
+	"iris/internal/hose"
+	"iris/internal/optics"
+	"iris/internal/plan"
+	"iris/internal/stats"
+	"iris/internal/traffic"
+)
+
+func BenchmarkFig3LatencyInflation(b *testing.B) {
+	cfg := experiments.DefaultFig3()
+	cfg.Regions = 10
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FracOver2x*100, "%pairs>2x")
+	}
+}
+
+func BenchmarkFig6SitingArea(b *testing.B) {
+	cfg := experiments.DefaultFig6()
+	cfg.Regions = 6
+	cfg.GridCellKM = 3
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.Median(res.Ratios), "x-fold-median")
+	}
+}
+
+func BenchmarkFig7PortCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7()
+		b.ReportMetric(rows[len(rows)-1].Electrical, "mesh/central")
+	}
+}
+
+func BenchmarkToyExampleSection34(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Toy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio, "eps/iris")
+	}
+}
+
+func BenchmarkFig9OSNRPenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig9()
+		b.ReportMetric(rows[2].PenaltyDB, "dB@3amps")
+	}
+}
+
+func BenchmarkFig12aCostCDF(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.ExtractRatios(rows)
+		b.ReportMetric(stats.Median(r.EPSOverIris), "eps/iris-median")
+	}
+}
+
+func BenchmarkFig12bSRCostCDF(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.ExtractRatios(rows)
+		b.ReportMetric(stats.Median(r.SROverIris), "sr-eps/iris-median")
+	}
+}
+
+func BenchmarkFig12cPortRatio(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.ExtractRatios(rows)
+		b.ReportMetric(stats.Median(r.PortRatioEPS), "eps-inet/dc-median")
+	}
+}
+
+func BenchmarkFig12dFailureCost(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	cfg.MaxFailures = 2
+	cfg.MapSeeds = cfg.MapSeeds[:2]
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.ExtractRatios(rows)
+		b.ReportMetric(stats.Median(r.EPS0OverIris), "eps0/iris2-median")
+	}
+}
+
+func BenchmarkFig14BERTimeline(b *testing.B) {
+	cfg := experiments.DefaultFig14()
+	cfg.DurationS = 300
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxBER, "maxBER")
+	}
+}
+
+func BenchmarkFig17Slowdown(b *testing.B) {
+	cfg := experiments.Fig17Config{
+		Seed:      1,
+		Utils:     []float64{0.4},
+		Bounds:    []float64{0.5},
+		Intervals: []float64{10},
+		DurationS: 30,
+		Dist:      traffic.WebSearch(),
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig17(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].All, "p99-slowdown")
+	}
+}
+
+func BenchmarkFig18Workloads(b *testing.B) {
+	cfg := experiments.DefaultFig18()
+	cfg.DurationS = 20
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig18(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].All, "web1-p99-slowdown")
+	}
+}
+
+func BenchmarkAppendixAOverhead(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.ExtractRatios(rows)
+		b.ReportMetric(stats.Mean(r.Overheads)*100, "%overhead-mean")
+	}
+}
+
+func BenchmarkAppendixBHybrid(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := experiments.AppendixB(rows)
+		b.ReportMetric(stats.Median(res.FiberSavedFrac)*100, "%residual-saved")
+	}
+}
+
+// --- micro-benchmarks for the planner's hot algorithms ---
+
+func benchRegion(b *testing.B, n int) (*fibermap.Map, []int) {
+	b.Helper()
+	m := fibermap.Generate(fibermap.DefaultGenConfig(1))
+	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(2, n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, dcs
+}
+
+func BenchmarkDijkstraRegion(b *testing.B) {
+	m, dcs := benchRegion(b, 10)
+	g := m.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(dcs[i%len(dcs)])
+	}
+}
+
+func BenchmarkMaxFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := graph.NewFlowNetwork(40)
+		for j := 0; j < 200; j++ {
+			u, v := rng.Intn(40), rng.Intn(40)
+			if u != v {
+				f.AddArc(u, v, float64(1+rng.Intn(16)))
+			}
+		}
+		f.MaxFlow(0, 39)
+	}
+}
+
+func BenchmarkHoseWorstCaseLoad(b *testing.B) {
+	caps := make(map[int]float64)
+	var pairs []hose.Pair
+	for i := 0; i < 20; i++ {
+		caps[i] = 16
+		for j := i + 1; j < 20; j++ {
+			pairs = append(pairs, hose.Pair{A: i, B: j})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hose.WorstCaseLoad(caps, pairs)
+	}
+}
+
+func BenchmarkPlanNoFailures(b *testing.B) {
+	m, dcs := benchRegion(b, 10)
+	caps := make(map[int]int)
+	for _, dc := range dcs {
+		caps[dc] = 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.New(plan.Input{Map: m, Capacity: caps, Lambda: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanTwoFailures(b *testing.B) {
+	m, dcs := benchRegion(b, 10)
+	caps := make(map[int]int)
+	for _, dc := range dcs {
+		caps[dc] = 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := plan.New(plan.Input{Map: m, Capacity: caps, Lambda: 40, MaxFailures: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pl.NScena), "scenarios")
+	}
+}
+
+func BenchmarkOpticsEvaluate(b *testing.B) {
+	pathA, _ := optics.TestbedPaths()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optics.Evaluate(pathA)
+	}
+}
+
+func BenchmarkFlowsimPipe(b *testing.B) {
+	cfg := flowsim.Config{
+		Seed: 1, DurationS: 10, Dist: traffic.WebSearch(),
+		Pipes: []flowsim.Pipe{{CapacityGbps: 10, UtilFrac: 0.5}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := flowsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Flows)), "flows")
+	}
+}

@@ -1,0 +1,185 @@
+// Command irisbench regenerates the paper's evaluation: every figure and
+// table has a corresponding experiment whose output prints the same
+// rows/series the paper reports. DESIGN.md maps experiments to modules and
+// EXPERIMENTS.md records paper-vs-measured outcomes.
+//
+// Usage:
+//
+//	irisbench [-exp all|fig3|fig6|fig7|toy|fig9|fig12|fig14|fig17|fig18|appa|appb] [-full]
+//
+// The -full flag runs the Fig. 12 sweep at the paper's scale (240
+// scenarios, 2-failure tolerance; several minutes). Without it a reduced
+// 24-scenario grid with 1-failure tolerance is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"iris/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irisbench: ")
+
+	var (
+		exp  = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss)")
+		full = flag.Bool("full", false, "run the Fig. 12 sweep at full paper scale (240 scenarios)")
+	)
+	flag.Parse()
+
+	wants := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			return true
+		}
+		// "sweep" selects the three experiments that share the Fig. 12
+		// cost sweep, running it once.
+		if *exp == "sweep" && (name == "fig12" || name == "appa" || name == "appb") {
+			return true
+		}
+		return false
+	}
+	ran := 0
+	run := func(name string, fn func() (string, error)) {
+		if !wants(name) {
+			return
+		}
+		ran++
+		t0 := time.Now()
+		out, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(strings.TrimRight(out, "\n"))
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("fig2", func() (string, error) {
+		return experiments.FormatFig2(experiments.Fig2()), nil
+	})
+	run("fig3", func() (string, error) {
+		res, err := experiments.Fig3(experiments.DefaultFig3())
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	run("fig6", func() (string, error) {
+		res, err := experiments.Fig6(experiments.DefaultFig6())
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	run("fig5", func() (string, error) {
+		near, far, err := experiments.Fig5(experiments.DefaultFig5())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig5(near, far), nil
+	})
+	run("fig7", func() (string, error) {
+		return experiments.FormatFig7(experiments.Fig7()), nil
+	})
+	run("toy", func() (string, error) {
+		res, err := experiments.Toy()
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	run("fig9", func() (string, error) {
+		return experiments.FormatFig9(experiments.Fig9()), nil
+	})
+
+	// The three sweep-based experiments share one sweep.
+	if wants("fig12") || wants("appa") || wants("appb") {
+		cfg := experiments.QuickSweep()
+		label := "quick 24-scenario grid, 1-failure tolerance"
+		if *full {
+			cfg = experiments.PaperSweep()
+			label = "full 240-scenario grid, 2-failure tolerance"
+		}
+		t0 := time.Now()
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		fmt.Printf("[cost sweep: %s, %d scenarios in %v]\n\n",
+			label, len(rows), time.Since(t0).Round(time.Millisecond))
+		ratios := experiments.ExtractRatios(rows)
+		if wants("fig12") {
+			ran++
+			fmt.Println(strings.TrimRight(experiments.FormatFig12(ratios), "\n"))
+			fmt.Println()
+		}
+		if wants("appa") {
+			ran++
+			fmt.Println(strings.TrimRight(experiments.FormatAppendixA(ratios), "\n"))
+			fmt.Println()
+		}
+		if wants("appb") {
+			ran++
+			fmt.Println(strings.TrimRight(experiments.AppendixB(rows).Format(), "\n"))
+			fmt.Println()
+		}
+	}
+
+	run("fig14", func() (string, error) {
+		res, err := experiments.Fig14(experiments.DefaultFig14())
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	run("fig17", func() (string, error) {
+		points, err := experiments.Fig17(experiments.DefaultFig17())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig17(points), nil
+	})
+	run("fig17r", func() (string, error) {
+		points, err := experiments.Fig17Region(experiments.DefaultFig17Region())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig17Region(points), nil
+	})
+	run("fig18", func() (string, error) {
+		points, err := experiments.Fig18(experiments.DefaultFig18())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig18(points), nil
+	})
+	run("central", func() (string, error) {
+		rows, err := experiments.CentralVsDistributed(experiments.DefaultCentral())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatCentral(rows), nil
+	})
+	run("clos", func() (string, error) {
+		rows, err := experiments.ClosAblation(experiments.DefaultClos())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatClos(rows), nil
+	})
+	run("wss", func() (string, error) {
+		rows, err := experiments.WSSAblation(experiments.DefaultWSS())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatWSS(rows), nil
+	})
+
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

@@ -1,0 +1,184 @@
+// Command irisplan plans a regional DCI network end to end: it generates
+// (or loads the paper's toy) region, runs the Iris planning pipeline of §4,
+// and prints the resulting topology, optical equipment, and the cost of
+// implementing it under each switching architecture.
+//
+// Usage:
+//
+//	irisplan [-toy] [-seed N] [-dcs N] [-capacity F] [-lambda L] [-failures K] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"iris/internal/core"
+	"iris/internal/fibermap"
+	"iris/internal/hose"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irisplan: ")
+
+	var (
+		toy      = flag.Bool("toy", false, "plan the paper's Fig. 10 toy region instead of a generated one")
+		seed     = flag.Int64("seed", 1, "region generator seed")
+		dcs      = flag.Int("dcs", 8, "number of data centers to place")
+		capacity = flag.Int("capacity", 16, "per-DC capacity in fiber-pairs")
+		lambda   = flag.Int("lambda", 40, "wavelengths per fiber")
+		failures = flag.Int("failures", 2, "fiber-cut tolerance")
+		load     = flag.String("load", "", "plan a region loaded from a JSON file instead of generating one")
+		save     = flag.String("save", "", "write the region (generated or loaded) to a JSON file")
+		verbose  = flag.Bool("v", false, "print per-duct and per-path detail")
+	)
+	flag.Parse()
+
+	var region core.Region
+	var err error
+	if *load != "" {
+		region, err = loadRegion(*load, *capacity, *lambda)
+	} else {
+		region, err = buildRegion(*toy, *seed, *dcs, *capacity, *lambda)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		if err := saveRegion(region, *save); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dep, err := core.Plan(region, core.Options{MaxFailures: *failures})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printDeployment(dep, *verbose)
+}
+
+func loadRegion(path string, capacity, lambda int) (core.Region, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Region{}, err
+	}
+	defer f.Close()
+	m, err := fibermap.ReadJSON(f)
+	if err != nil {
+		return core.Region{}, err
+	}
+	caps := make(map[int]int)
+	for _, dc := range m.DCs() {
+		caps[dc] = capacity
+	}
+	return core.Region{Map: m, Capacity: caps, Lambda: lambda}, nil
+}
+
+func saveRegion(region core.Region, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return region.Map.WriteJSON(f)
+}
+
+func buildRegion(toy bool, seed int64, dcs, capacity, lambda int) (core.Region, error) {
+	if toy {
+		t := fibermap.Toy()
+		caps := make(map[int]int)
+		for _, dc := range t.Map.DCs() {
+			caps[dc] = 10
+		}
+		return core.Region{Map: t.Map, Capacity: caps, Lambda: lambda}, nil
+	}
+	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
+	placed, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+1, dcs))
+	if err != nil {
+		return core.Region{}, err
+	}
+	caps := make(map[int]int, len(placed))
+	for _, dc := range placed {
+		caps[dc] = capacity
+	}
+	return core.Region{Map: m, Capacity: caps, Lambda: lambda}, nil
+}
+
+func printDeployment(dep *core.Deployment, verbose bool) {
+	pl := dep.Plan
+	m := dep.Region.Map
+	fmt.Printf("region: %d DCs, %d huts, %d ducts; λ=%d, failure tolerance %d (%d scenarios)\n",
+		len(m.DCs()), len(m.Huts()), len(m.Ducts), dep.Region.Lambda,
+		pl.Input.MaxFailures, pl.NScena)
+
+	fmt.Printf("\ntopology & capacity (Algorithm 1 + §4.3):\n")
+	fmt.Printf("  fiber-pairs: %d base + %d residual/cut-through = %d total\n",
+		pl.BaseFiberPairs(), pl.TotalFiberPairs()-pl.BaseFiberPairs(), pl.TotalFiberPairs())
+	fmt.Printf("  used huts:   %d of %d\n", len(pl.UsedHuts()), len(m.Huts()))
+	fmt.Printf("  amplifiers:  %d across %d sites\n", pl.TotalAmps(), len(pl.Amps))
+	fmt.Printf("  cut-throughs: %d links\n", len(pl.Cuts))
+	if len(pl.SLA) > 0 {
+		fmt.Printf("  WARNING: %d DC pairs exceed the SLA distance in some failure scenario\n", len(pl.SLA))
+	}
+	if len(pl.Viol) > 0 {
+		fmt.Printf("  WARNING: %d optical-constraint violations:\n", len(pl.Viol))
+		for _, v := range pl.Viol {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+
+	fmt.Printf("\nannual cost (paper §3.3 prices):\n")
+	fmt.Printf("  %-10s $%12.0f  (%d transceivers, %d fiber-pairs)\n",
+		"EPS", dep.EPS.Total(), dep.EPS.TransceiverCount(), dep.EPS.FiberPairs)
+	fmt.Printf("  %-10s $%12.0f  (%d transceivers, %d fiber-pairs, %d OSS ports, %d amps)\n",
+		"Iris", dep.Iris.Total(), dep.Iris.TransceiverCount(), dep.Iris.FiberPairs,
+		dep.Iris.OSSPorts, dep.Iris.Amplifiers)
+	fmt.Printf("  %-10s $%12.0f  (%d OXC ports)\n", "Hybrid", dep.Hybrid.Total(), dep.Hybrid.OXCPorts)
+	fmt.Printf("  EPS / Iris = %.2fx\n", dep.EPS.Total()/dep.Iris.Total())
+
+	if !verbose {
+		return
+	}
+
+	fmt.Printf("\nper-duct provisioning:\n")
+	ductIDs := make([]int, 0, len(pl.Ducts))
+	for id := range pl.Ducts {
+		ductIDs = append(ductIDs, id)
+	}
+	sort.Ints(ductIDs)
+	fmt.Printf("  %-6s %-18s %-8s %-6s %-10s %s\n", "duct", "endpoints", "km", "base", "residual", "cut-through")
+	for _, id := range ductIDs {
+		du := pl.Ducts[id]
+		d := m.Ducts[id]
+		fmt.Printf("  %-6d %-18s %-8.1f %-6d %-10d %d\n", id,
+			fmt.Sprintf("%s-%s", m.Nodes[d.A].Name, m.Nodes[d.B].Name),
+			d.FiberKM, du.BasePairs, du.ResidualPairs, du.CutThroughPairs)
+	}
+
+	fmt.Printf("\nshortest paths (failure-free):\n")
+	var pairs []hose.Pair
+	for p := range pl.Paths {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, p := range pairs {
+		info := pl.Paths[p]
+		fmt.Printf("  %s → %s: %.1f km, %d hops", m.Nodes[p.A].Name, m.Nodes[p.B].Name,
+			info.TotalKM, len(info.Ducts))
+		if len(info.AmpNodes) > 0 {
+			fmt.Printf(", amp at %s", m.Nodes[info.AmpNodes[0]].Name)
+		}
+		if len(info.Bypassed) > 0 {
+			fmt.Printf(", bypasses %d switches", len(info.Bypassed))
+		}
+		fmt.Println()
+	}
+	_ = os.Stdout
+}

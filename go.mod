@@ -1,0 +1,3 @@
+module iris
+
+go 1.22

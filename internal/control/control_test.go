@@ -1,0 +1,439 @@
+package control
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fig13Testbed builds the paper's testbed layout: two DCs with
+// transceiver banks and channel emulators, a DC OSS each, one hut OSS
+// with a loopback amplifier.
+func fig13Testbed(t *testing.T) *Testbed {
+	t.Helper()
+	tb, err := StartTestbed(map[string]Device{
+		"dc1-oss":      NewOSS(32, 0),
+		"dc2-oss":      NewOSS(32, 0),
+		"hut-oss":      NewOSS(64, 0),
+		"hut-amp":      NewAmplifier(20, -3),
+		"dc1-xcvr":     NewTransceiverBank(4, 40),
+		"dc2-xcvr":     NewTransceiverBank(4, 40),
+		"dc1-emulator": NewChannelEmulator(40),
+		"dc2-emulator": NewChannelEmulator(40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+func TestPingAllDevices(t *testing.T) {
+	tb := fig13Testbed(t)
+	kinds := map[string]string{
+		"dc1-oss": "oss", "hut-amp": "amp",
+		"dc1-xcvr": "transceivers", "dc1-emulator": "emulator",
+	}
+	for dev, kind := range kinds {
+		res, err := tb.Controller.Call(dev, "ping", nil)
+		if err != nil {
+			t.Fatalf("ping %s: %v", dev, err)
+		}
+		if res["kind"] != kind {
+			t.Errorf("%s kind = %v, want %s", dev, res["kind"], kind)
+		}
+	}
+	if got := len(tb.Controller.Devices()); got != 8 {
+		t.Errorf("device count = %d, want 8", got)
+	}
+}
+
+func TestUnknownDeviceAndOp(t *testing.T) {
+	tb := fig13Testbed(t)
+	if _, err := tb.Controller.Call("nope", "ping", nil); err == nil {
+		t.Error("expected error for unknown device")
+	}
+	if _, err := tb.Controller.Call("dc1-oss", "explode", nil); err == nil {
+		t.Error("expected error for unknown op")
+	}
+	if _, err := tb.Controller.Call("dc1-oss", "connect", map[string]any{"in": 1}); err == nil {
+		t.Error("expected error for missing argument")
+	}
+}
+
+func TestOSSSemantics(t *testing.T) {
+	tb := fig13Testbed(t)
+	c := tb.Controller
+	must := func(op string, args map[string]any) {
+		t.Helper()
+		if _, err := c.Call("hut-oss", op, args); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	must("connect", map[string]any{"in": 0, "out": 10})
+	if _, err := c.Call("hut-oss", "connect", map[string]any{"in": 0, "out": 11}); err == nil {
+		t.Error("double-connecting an input must fail")
+	}
+	if _, err := c.Call("hut-oss", "connect", map[string]any{"in": 1, "out": 10}); err == nil {
+		t.Error("double-feeding an output must fail")
+	}
+	if _, err := c.Call("hut-oss", "connect", map[string]any{"in": 99, "out": 1}); err == nil {
+		t.Error("out-of-range port must fail")
+	}
+	must("disconnect", map[string]any{"in": 0})
+	if _, err := c.Call("hut-oss", "disconnect", map[string]any{"in": 0}); err == nil {
+		t.Error("disconnecting an idle input must fail")
+	}
+	must("connect", map[string]any{"in": 1, "out": 10}) // port freed
+}
+
+func TestTransceiverDrainDiscipline(t *testing.T) {
+	tb := fig13Testbed(t)
+	c := tb.Controller
+	// Cannot enable untuned.
+	if _, err := c.Call("dc1-xcvr", "enable", map[string]any{"idx": 0}); err == nil {
+		t.Error("enabling an untuned transceiver must fail")
+	}
+	if _, err := c.Call("dc1-xcvr", "tune", map[string]any{"idx": 0, "wavelength": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("dc1-xcvr", "enable", map[string]any{"idx": 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Cannot retune while live: the §5.2 drain-first rule is enforced by
+	// the device itself.
+	if _, err := c.Call("dc1-xcvr", "tune", map[string]any{"idx": 0, "wavelength": 9}); err == nil {
+		t.Error("retuning a live transceiver must fail")
+	}
+	if _, err := c.Call("dc1-xcvr", "disable", map[string]any{"idx": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("dc1-xcvr", "tune", map[string]any{"idx": 0, "wavelength": 9}); err != nil {
+		t.Errorf("retune after drain should succeed: %v", err)
+	}
+}
+
+func TestEmulatorFill(t *testing.T) {
+	tb := fig13Testbed(t)
+	if _, err := tb.Controller.Call("dc1-emulator", "fill",
+		map[string]any{"channels": []any{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	em := tb.Devices["dc1-emulator"].(*ChannelEmulator)
+	got := em.Filled()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("filled = %v", got)
+	}
+	if _, err := tb.Controller.Call("dc1-emulator", "fill",
+		map[string]any{"channels": []any{99}}); err == nil {
+		t.Error("out-of-range channel must fail")
+	}
+}
+
+func TestReconfigureEndToEnd(t *testing.T) {
+	tb := fig13Testbed(t)
+	c := tb.Controller
+
+	// Initial circuit: DC1 transceiver 0 on wavelength 3, path through
+	// hut port 0→1.
+	setup := Change{
+		Switches: []OSSOp{
+			{Device: "dc1-oss", In: 0, Out: 8},
+			{Device: "hut-oss", In: 0, Out: 1},
+			{Device: "dc2-oss", In: 0, Out: 8},
+		},
+		Retunes: []TransceiverOp{
+			{Device: "dc1-xcvr", Idx: 0, Wavelength: 3},
+			{Device: "dc2-xcvr", Idx: 0, Wavelength: 3},
+		},
+		Fills: []FillOp{
+			{Device: "dc1-emulator", Channels: []int{0, 1, 2}},
+			{Device: "dc2-emulator", Channels: []int{0, 1, 2}},
+		},
+		Undrain: []TransceiverOp{
+			{Device: "dc1-xcvr", Idx: 0},
+			{Device: "dc2-xcvr", Idx: 0},
+		},
+	}
+	if _, err := c.Reconfigure(context.Background(), setup); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move the circuit to hut ports 0→2 (the B configuration) and
+	// wavelength 5, with a proper drain.
+	move := Change{
+		Drain: []TransceiverOp{
+			{Device: "dc1-xcvr", Idx: 0},
+			{Device: "dc2-xcvr", Idx: 0},
+		},
+		Switches: []OSSOp{
+			{Device: "hut-oss", In: 0, Disconnect: true},
+			{Device: "hut-oss", In: 0, Out: 2},
+		},
+		Retunes: []TransceiverOp{
+			{Device: "dc1-xcvr", Idx: 0, Wavelength: 5},
+			{Device: "dc2-xcvr", Idx: 0, Wavelength: 5},
+		},
+		Undrain: []TransceiverOp{
+			{Device: "dc1-xcvr", Idx: 0},
+			{Device: "dc2-xcvr", Idx: 0},
+		},
+	}
+	rep, err := c.Reconfigure(context.Background(), move)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 6 {
+		t.Errorf("phases = %d, want 6", len(rep.Phases))
+	}
+
+	// Audit intent vs. device state.
+	err = c.Audit(Expected{
+		Cross: map[string]map[int]int{
+			"dc1-oss": {0: 8},
+			"hut-oss": {0: 2},
+			"dc2-oss": {0: 8},
+		},
+		Tuned:   map[string][]int{"dc1-xcvr": {5, -1, -1, -1}},
+		Enabled: map[string][]bool{"dc1-xcvr": {true, false, false, false}},
+		Filled:  map[string][]int{"dc1-emulator": {0, 1, 2}},
+	})
+	if err != nil {
+		t.Errorf("audit: %v", err)
+	}
+
+	// A wrong expectation must be detected.
+	err = c.Audit(Expected{Cross: map[string]map[int]int{"hut-oss": {0: 1}}})
+	if err == nil || !strings.Contains(err.Error(), "cross map") {
+		t.Errorf("audit should flag a stale cross map, got %v", err)
+	}
+}
+
+func TestReconfigureDrainOrdering(t *testing.T) {
+	// The OSS must never switch while the affected transceivers are live:
+	// every OSS op in a change lands after all drain ops, strictly by the
+	// device logs' timestamps.
+	tb := fig13Testbed(t)
+	c := tb.Controller
+	setup := Change{
+		Switches: []OSSOp{{Device: "hut-oss", In: 4, Out: 5}},
+		Retunes:  []TransceiverOp{{Device: "dc1-xcvr", Idx: 1, Wavelength: 1}},
+		Undrain:  []TransceiverOp{{Device: "dc1-xcvr", Idx: 1}},
+	}
+	if _, err := c.Reconfigure(context.Background(), setup); err != nil {
+		t.Fatal(err)
+	}
+	move := Change{
+		Drain:    []TransceiverOp{{Device: "dc1-xcvr", Idx: 1}},
+		Switches: []OSSOp{{Device: "hut-oss", In: 4, Disconnect: true}, {Device: "hut-oss", In: 4, Out: 6}},
+		Undrain:  []TransceiverOp{{Device: "dc1-xcvr", Idx: 1}},
+	}
+	if _, err := c.Reconfigure(context.Background(), move); err != nil {
+		t.Fatal(err)
+	}
+
+	xcvr := tb.Devices["dc1-xcvr"].(*TransceiverBank)
+	oss := tb.Devices["hut-oss"].(*OSS)
+	var drainTime, switchTime time.Time
+	for _, e := range xcvr.Log() {
+		if e.Op == "disable" {
+			drainTime = e.Time
+		}
+	}
+	for _, e := range oss.Log() {
+		// The controller batches per device: the move lands as a
+		// connect-batch containing port 4.
+		if (e.Op == "connect" && e.Note == "4->6") ||
+			(e.Op == "connect-batch" && strings.Contains(e.Note, "[4]->[6]")) {
+			switchTime = e.Time
+		}
+	}
+	if drainTime.IsZero() || switchTime.IsZero() {
+		t.Fatal("expected drain and switch log entries")
+	}
+	if switchTime.Before(drainTime) {
+		t.Error("OSS switched before the transceiver was drained")
+	}
+}
+
+func TestReconfigureTiming(t *testing.T) {
+	// With the measured 20 ms OSS switching delay, a reconfiguration
+	// completes well within the paper's 70 ms fiber-switch budget even
+	// across several OSS hops (they switch in parallel).
+	tb, err := StartTestbed(map[string]Device{
+		"oss-a": NewOSS(8, 20*time.Millisecond),
+		"oss-b": NewOSS(8, 20*time.Millisecond),
+		"oss-c": NewOSS(8, 20*time.Millisecond),
+		"xcvr":  NewTransceiverBank(2, 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	ch := Change{
+		Switches: []OSSOp{
+			{Device: "oss-a", In: 0, Out: 1},
+			{Device: "oss-b", In: 0, Out: 1},
+			{Device: "oss-c", In: 0, Out: 1},
+		},
+		Retunes: []TransceiverOp{{Device: "xcvr", Idx: 0, Wavelength: 0}},
+		Undrain: []TransceiverOp{{Device: "xcvr", Idx: 0}},
+	}
+	rep, err := tb.Controller.Reconfigure(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total > 70*time.Millisecond {
+		t.Errorf("reconfiguration took %v, want ≤ 70 ms", rep.Total)
+	}
+	var switchPhase PhaseTiming
+	for _, p := range rep.Phases {
+		if p.Name == "switch" {
+			switchPhase = p
+		}
+	}
+	if switchPhase.Duration < 20*time.Millisecond {
+		t.Errorf("switch phase %v shorter than one OSS settling time", switchPhase.Duration)
+	}
+	if switchPhase.Duration > 60*time.Millisecond {
+		t.Errorf("switch phase %v suggests serialized OSS switching", switchPhase.Duration)
+	}
+}
+
+func TestReconfigureAbortsOnError(t *testing.T) {
+	tb := fig13Testbed(t)
+	ch := Change{
+		Switches: []OSSOp{{Device: "hut-oss", In: 99, Out: 1}}, // invalid port
+		Retunes:  []TransceiverOp{{Device: "dc1-xcvr", Idx: 0, Wavelength: 1}},
+	}
+	_, err := tb.Controller.Reconfigure(context.Background(), ch)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The retune phase must not have run.
+	tuned, _ := tb.Devices["dc1-xcvr"].(*TransceiverBank).Snapshot()
+	if tuned[0] != -1 {
+		t.Error("retune ran despite switch-phase failure")
+	}
+}
+
+func TestReconfigureRespectsContext(t *testing.T) {
+	tb := fig13Testbed(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tb.Controller.Reconfigure(ctx, Change{
+		Switches: []OSSOp{{Device: "hut-oss", In: 0, Out: 1}},
+	})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	tb := fig13Testbed(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := tb.Controller.Call("hut-oss", "connect",
+				map[string]any{"in": i, "out": i + 16})
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	oss := tb.Devices["hut-oss"].(*OSS)
+	if got := len(oss.CrossMap()); got != 16 {
+		t.Errorf("cross connects = %d, want 16", got)
+	}
+}
+
+func TestAmplifierStateAndLog(t *testing.T) {
+	tb := fig13Testbed(t)
+	if _, err := tb.Controller.Call("hut-amp", "enable", nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tb.Controller.Call("hut-amp", "state", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["enabled"] != true || st["gain_db"].(float64) != 20 || st["fixed_gain"] != true {
+		t.Errorf("state = %v", st)
+	}
+	amp := tb.Devices["hut-amp"].(*Amplifier)
+	if !amp.Enabled() {
+		t.Error("amplifier should be enabled")
+	}
+	if len(amp.Log()) == 0 {
+		t.Error("expected log entries")
+	}
+}
+
+func TestOSSBatchSemantics(t *testing.T) {
+	tb := fig13Testbed(t)
+	c := tb.Controller
+	// Batch connect.
+	if _, err := c.Call("hut-oss", "connect-batch",
+		map[string]any{"ins": []any{0, 1, 2}, "outs": []any{10, 11, 12}}); err != nil {
+		t.Fatal(err)
+	}
+	oss := tb.Devices["hut-oss"].(*OSS)
+	if got := len(oss.CrossMap()); got != 3 {
+		t.Fatalf("cross connects = %d, want 3", got)
+	}
+	// A batch with a conflict is rejected atomically: port 1 is busy, so
+	// the new ports 3 and 4 must not be connected either.
+	if _, err := c.Call("hut-oss", "connect-batch",
+		map[string]any{"ins": []any{3, 1, 4}, "outs": []any{13, 14, 15}}); err == nil {
+		t.Fatal("conflicting batch should fail")
+	}
+	if got := len(oss.CrossMap()); got != 3 {
+		t.Errorf("failed batch left %d connects, want unchanged 3", got)
+	}
+	// Length mismatch.
+	if _, err := c.Call("hut-oss", "connect-batch",
+		map[string]any{"ins": []any{5}, "outs": []any{16, 17}}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// Batch disconnect.
+	if _, err := c.Call("hut-oss", "disconnect-batch",
+		map[string]any{"ins": []any{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(oss.CrossMap()); got != 0 {
+		t.Errorf("cross connects = %d after batch disconnect, want 0", got)
+	}
+}
+
+func TestBatchedSwitchPhasePaysDelayOnce(t *testing.T) {
+	tb, err := StartTestbed(map[string]Device{
+		"oss": NewOSS(32, 20*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	// Eight circuits on one device: batching must keep the switch phase
+	// near one settling window, not eight.
+	var ops []OSSOp
+	for i := 0; i < 8; i++ {
+		ops = append(ops, OSSOp{Device: "oss", In: i, Out: 16 + i})
+	}
+	rep, err := tb.Controller.Reconfigure(context.Background(), Change{Switches: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total > 60*time.Millisecond {
+		t.Errorf("8-circuit switch took %v; batching should pay ~20 ms once", rep.Total)
+	}
+}

@@ -1,0 +1,383 @@
+package control
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DeviceSpec names one device agent and where to reach it.
+type DeviceSpec struct {
+	Name string
+	Addr string
+}
+
+// Controller is the centralized Iris controller (§5.2). It holds one
+// connection per device and executes reconfigurations as strictly ordered
+// phases: drain traffic, switch fibers, retune wavelengths and refill
+// spectrum, then undrain.
+type Controller struct {
+	mu      sync.Mutex
+	devices map[string]*Client
+}
+
+// Dial connects to all device agents. On any failure it closes the
+// connections already made and returns the error.
+func Dial(specs []DeviceSpec) (*Controller, error) {
+	c := &Controller{devices: make(map[string]*Client, len(specs))}
+	for _, s := range specs {
+		if _, dup := c.devices[s.Name]; dup {
+			c.Close()
+			return nil, fmt.Errorf("control: duplicate device name %q", s.Name)
+		}
+		cl, err := DialDevice(s.Addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.devices[s.Name] = cl
+	}
+	return c, nil
+}
+
+// Close tears down all device connections.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.devices {
+		cl.Close()
+	}
+	c.devices = nil
+}
+
+// Call forwards one operation to a named device.
+func (c *Controller) Call(device, op string, args map[string]any) (map[string]any, error) {
+	c.mu.Lock()
+	cl, ok := c.devices[device]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("control: unknown device %q", device)
+	}
+	return cl.Call(op, args)
+}
+
+// Devices returns the connected device names in sorted order.
+func (c *Controller) Devices() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.devices))
+	for n := range c.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OSSOp is one space-switch operation.
+type OSSOp struct {
+	Device     string
+	In, Out    int
+	Disconnect bool // tear down the circuit from In instead of creating one
+}
+
+// TransceiverOp addresses one transceiver in a bank.
+type TransceiverOp struct {
+	Device     string
+	Idx        int
+	Wavelength int // used by retune operations
+}
+
+// FillOp sets a channel emulator's ASE-filled channel set.
+type FillOp struct {
+	Device   string
+	Channels []int
+}
+
+// AmpOp enables or disables an amplifier group at a site.
+type AmpOp struct {
+	Device string
+	Enable bool
+}
+
+// Change is one reconfiguration: the controller first drains the listed
+// transceivers (no live traffic during switching, §5.2), then executes the
+// OSS operations network-wide, then the per-DC wavelength retunes and
+// spectrum fills, and finally re-enables the undrain set.
+type Change struct {
+	Drain    []TransceiverOp
+	Switches []OSSOp
+	// Amps run after the switches and before traffic returns: an
+	// amplifier must be providing gain before its path goes live, and
+	// unused amplifiers are parked to keep ASE out of dark fibers.
+	Amps    []AmpOp
+	Retunes []TransceiverOp
+	Fills   []FillOp
+	Undrain []TransceiverOp
+}
+
+// PhaseTiming reports how long one phase of a reconfiguration took.
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
+	Ops      int
+}
+
+// Report summarises an executed reconfiguration.
+type Report struct {
+	Phases []PhaseTiming
+	Total  time.Duration
+}
+
+// Reconfigure executes the change. Phases run strictly in order;
+// operations within a phase run concurrently (they touch independent
+// devices or independent ports). The first error aborts subsequent phases.
+func (c *Controller) Reconfigure(ctx context.Context, ch Change) (Report, error) {
+	var rep Report
+	start := time.Now()
+	phases := []struct {
+		name string
+		run  func() error
+		ops  int
+	}{
+		{"drain", func() error { return c.transceiverPhase(ctx, ch.Drain, "disable") }, len(ch.Drain)},
+		{"switch", func() error { return c.switchPhase(ctx, ch.Switches) }, len(ch.Switches)},
+		{"amps", func() error { return c.ampPhase(ctx, ch.Amps) }, len(ch.Amps)},
+		{"retune", func() error { return c.transceiverPhase(ctx, ch.Retunes, "tune") }, len(ch.Retunes)},
+		{"fill", func() error { return c.fillPhase(ctx, ch.Fills) }, len(ch.Fills)},
+		{"undrain", func() error { return c.transceiverPhase(ctx, ch.Undrain, "enable") }, len(ch.Undrain)},
+	}
+	for _, ph := range phases {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		t0 := time.Now()
+		if err := ph.run(); err != nil {
+			return rep, fmt.Errorf("control: %s phase: %w", ph.name, err)
+		}
+		rep.Phases = append(rep.Phases, PhaseTiming{Name: ph.name, Duration: time.Since(t0), Ops: ph.ops})
+	}
+	rep.Total = time.Since(start)
+	return rep, nil
+}
+
+// parallel runs fns concurrently and returns the first error.
+func parallel(ctx context.Context, fns []func() error) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	errs := make(chan error, len(fns))
+	for _, fn := range fns {
+		go func(f func() error) { errs <- f() }(fn)
+	}
+	var first error
+	for range fns {
+		select {
+		case err := <-errs:
+			if err != nil && first == nil {
+				first = err
+			}
+		case <-ctx.Done():
+			if first == nil {
+				first = ctx.Err()
+			}
+		}
+	}
+	return first
+}
+
+func (c *Controller) transceiverPhase(ctx context.Context, ops []TransceiverOp, op string) error {
+	fns := make([]func() error, 0, len(ops))
+	for _, o := range ops {
+		o := o
+		fns = append(fns, func() error {
+			args := map[string]any{"idx": o.Idx}
+			if op == "tune" {
+				args["wavelength"] = o.Wavelength
+			}
+			_, err := c.Call(o.Device, op, args)
+			return err
+		})
+	}
+	return parallel(ctx, fns)
+}
+
+// switchPhase executes the OSS operations. Disconnects precede connects so
+// a circuit can move to a port being vacated in the same change; within
+// each direction, operations are batched per device — the physical switch
+// settles all of a batch's mirrors in one window — and devices run
+// concurrently.
+func (c *Controller) switchPhase(ctx context.Context, ops []OSSOp) error {
+	discByDev := make(map[string][]int)
+	type xc struct{ in, out int }
+	connByDev := make(map[string][]xc)
+	for _, o := range ops {
+		if o.Disconnect {
+			discByDev[o.Device] = append(discByDev[o.Device], o.In)
+		} else {
+			connByDev[o.Device] = append(connByDev[o.Device], xc{o.In, o.Out})
+		}
+	}
+
+	var disc []func() error
+	for dev, ins := range discByDev {
+		dev, ins := dev, ins
+		disc = append(disc, func() error {
+			_, err := c.Call(dev, "disconnect-batch", map[string]any{"ins": ins})
+			return err
+		})
+	}
+	if err := parallel(ctx, disc); err != nil {
+		return err
+	}
+
+	var conn []func() error
+	for dev, xcs := range connByDev {
+		dev, xcs := dev, xcs
+		conn = append(conn, func() error {
+			ins := make([]int, len(xcs))
+			outs := make([]int, len(xcs))
+			for i, x := range xcs {
+				ins[i], outs[i] = x.in, x.out
+			}
+			_, err := c.Call(dev, "connect-batch", map[string]any{"ins": ins, "outs": outs})
+			return err
+		})
+	}
+	return parallel(ctx, conn)
+}
+
+func (c *Controller) ampPhase(ctx context.Context, ops []AmpOp) error {
+	fns := make([]func() error, 0, len(ops))
+	for _, o := range ops {
+		o := o
+		fns = append(fns, func() error {
+			op := "disable"
+			if o.Enable {
+				op = "enable"
+			}
+			_, err := c.Call(o.Device, op, nil)
+			return err
+		})
+	}
+	return parallel(ctx, fns)
+}
+
+func (c *Controller) fillPhase(ctx context.Context, ops []FillOp) error {
+	fns := make([]func() error, 0, len(ops))
+	for _, o := range ops {
+		o := o
+		fns = append(fns, func() error {
+			chans := make([]any, len(o.Channels))
+			for i, ch := range o.Channels {
+				chans[i] = ch
+			}
+			_, err := c.Call(o.Device, "fill", map[string]any{"channels": chans})
+			return err
+		})
+	}
+	return parallel(ctx, fns)
+}
+
+// Expected is the controller's intended device state, used by Audit to
+// verify that the network matches intent ("checking that the devices are
+// in expected state", §6.2).
+type Expected struct {
+	// Cross maps OSS device name to its expected input→output map.
+	Cross map[string]map[int]int
+	// Tuned maps transceiver-bank device name to per-index wavelengths
+	// (-1 for untuned).
+	Tuned map[string][]int
+	// Enabled maps transceiver-bank device name to per-index live state.
+	Enabled map[string][]bool
+	// Filled maps emulator device name to its ASE channel set (ascending).
+	Filled map[string][]int
+}
+
+// Audit fetches every device's state and compares it to the expectation,
+// returning an error describing the first mismatch.
+func (c *Controller) Audit(exp Expected) error {
+	for dev, want := range exp.Cross {
+		st, err := c.Call(dev, "state", nil)
+		if err != nil {
+			return err
+		}
+		got := make(map[int]int)
+		if cross, ok := st["cross"].(map[string]any); ok {
+			for k, v := range cross {
+				var in int
+				if _, err := fmt.Sscanf(k, "%d", &in); err != nil {
+					return fmt.Errorf("control: audit %s: bad port key %q", dev, k)
+				}
+				got[in] = int(v.(float64))
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("control: audit %s: cross map %v, want %v", dev, got, want)
+		}
+	}
+	for dev, want := range exp.Tuned {
+		st, err := c.Call(dev, "state", nil)
+		if err != nil {
+			return err
+		}
+		got := toIntSlice(st["tuned"])
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("control: audit %s: tuned %v, want %v", dev, got, want)
+		}
+	}
+	for dev, want := range exp.Enabled {
+		st, err := c.Call(dev, "state", nil)
+		if err != nil {
+			return err
+		}
+		got := toBoolSlice(st["enabled"])
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("control: audit %s: enabled %v, want %v", dev, got, want)
+		}
+	}
+	for dev, want := range exp.Filled {
+		st, err := c.Call(dev, "state", nil)
+		if err != nil {
+			return err
+		}
+		got := toIntSlice(st["filled"])
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("control: audit %s: filled %v, want %v", dev, got, want)
+		}
+	}
+	return nil
+}
+
+func toIntSlice(v any) []int {
+	raw, ok := v.([]any)
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(raw))
+	for i, e := range raw {
+		if f, ok := e.(float64); ok {
+			out[i] = int(f)
+		}
+	}
+	return out
+}
+
+func toBoolSlice(v any) []bool {
+	raw, ok := v.([]any)
+	if !ok {
+		return nil
+	}
+	out := make([]bool, len(raw))
+	for i, e := range raw {
+		if b, ok := e.(bool); ok {
+			out[i] = b
+		}
+	}
+	return out
+}

@@ -1,0 +1,427 @@
+package control
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LogEntry records one operation executed by a device, for audits and for
+// verifying controller sequencing in tests.
+type LogEntry struct {
+	Time time.Time
+	Op   string
+	Note string
+}
+
+// opLog is the shared audit-trail implementation embedded in every device.
+type opLog struct {
+	mu      sync.Mutex
+	entries []LogEntry
+}
+
+func (l *opLog) record(op, note string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, LogEntry{Time: time.Now(), Op: op, Note: note})
+}
+
+// Log returns a copy of the device's operation log.
+func (l *opLog) Log() []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LogEntry(nil), l.entries...)
+}
+
+// OSS emulates an optical space switch: a port-to-port circuit fabric that
+// directs all wavelengths of an input fiber to an output fiber. Switching
+// takes the configured delay (the paper measures ≈20 ms, §5.2).
+type OSS struct {
+	opLog
+	mu          sync.Mutex
+	ports       int
+	switchDelay time.Duration
+	cross       map[int]int // in port -> out port
+	outInUse    map[int]int // out port -> in port
+}
+
+// NewOSS returns an OSS with the given port count and switch delay.
+func NewOSS(ports int, switchDelay time.Duration) *OSS {
+	return &OSS{
+		ports:       ports,
+		switchDelay: switchDelay,
+		cross:       make(map[int]int),
+		outInUse:    make(map[int]int),
+	}
+}
+
+// Kind implements Device.
+func (o *OSS) Kind() string { return "oss" }
+
+// Handle implements Device. Operations:
+//
+//	connect {in, out}        — create a circuit; fails if either port is in use
+//	disconnect {in}          — tear down the circuit from an input port
+//	connect-batch {ins, outs} — create several circuits in one settling window
+//	disconnect-batch {ins}   — tear down several circuits at once
+//	state                    — current cross-connect map
+//
+// The batch forms mirror real OSS firmware, which executes a set of
+// cross-connect moves in a single mirror-settling window; the controller
+// uses them so a multi-circuit reconfiguration pays the switching delay
+// once per device, not once per circuit.
+func (o *OSS) Handle(op string, args map[string]any) (map[string]any, error) {
+	switch op {
+	case "connect-batch":
+		ins, err := argIntSlice(args, "ins")
+		if err != nil {
+			return nil, err
+		}
+		outs, err := argIntSlice(args, "outs")
+		if err != nil {
+			return nil, err
+		}
+		if len(ins) != len(outs) {
+			return nil, fmt.Errorf("oss: batch length mismatch: %d ins, %d outs", len(ins), len(outs))
+		}
+		if err := o.connectBatch(ins, outs); err != nil {
+			return nil, err
+		}
+		o.record(op, fmt.Sprintf("%v->%v", ins, outs))
+		return nil, nil
+	case "disconnect-batch":
+		ins, err := argIntSlice(args, "ins")
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range ins {
+			if err := o.disconnect(in); err != nil {
+				return nil, err
+			}
+		}
+		o.record(op, fmt.Sprint(ins))
+		return nil, nil
+	case "connect":
+		in, err := argInt(args, "in")
+		if err != nil {
+			return nil, err
+		}
+		out, err := argInt(args, "out")
+		if err != nil {
+			return nil, err
+		}
+		if err := o.connect(in, out); err != nil {
+			return nil, err
+		}
+		o.record(op, fmt.Sprintf("%d->%d", in, out))
+		return nil, nil
+	case "disconnect":
+		in, err := argInt(args, "in")
+		if err != nil {
+			return nil, err
+		}
+		if err := o.disconnect(in); err != nil {
+			return nil, err
+		}
+		o.record(op, fmt.Sprintf("%d", in))
+		return nil, nil
+	case "state":
+		return map[string]any{"cross": o.CrossMap(), "ports": o.ports}, nil
+	default:
+		return nil, fmt.Errorf("oss: unknown op %q", op)
+	}
+}
+
+func (o *OSS) connect(in, out int) error {
+	return o.connectBatch([]int{in}, []int{out})
+}
+
+// connectBatch validates and reserves every cross-connect under the lock,
+// then settles once: the physical switch moves all mirrors in a single
+// settling window.
+func (o *OSS) connectBatch(ins, outs []int) error {
+	o.mu.Lock()
+	for i := range ins {
+		in, out := ins[i], outs[i]
+		if in < 0 || in >= o.ports || out < 0 || out >= o.ports {
+			o.rollback(ins[:i])
+			o.mu.Unlock()
+			return fmt.Errorf("oss: port out of range [0,%d): in=%d out=%d", o.ports, in, out)
+		}
+		if cur, busy := o.cross[in]; busy {
+			o.rollback(ins[:i])
+			o.mu.Unlock()
+			return fmt.Errorf("oss: input %d already connected to %d", in, cur)
+		}
+		if cur, busy := o.outInUse[out]; busy {
+			o.rollback(ins[:i])
+			o.mu.Unlock()
+			return fmt.Errorf("oss: output %d already fed by %d", out, cur)
+		}
+		o.cross[in] = out
+		o.outInUse[out] = in
+	}
+	o.mu.Unlock()
+	time.Sleep(o.switchDelay)
+	return nil
+}
+
+// rollback undoes partially applied batch entries; callers hold o.mu.
+func (o *OSS) rollback(ins []int) {
+	for _, in := range ins {
+		if out, ok := o.cross[in]; ok {
+			delete(o.cross, in)
+			delete(o.outInUse, out)
+		}
+	}
+}
+
+func (o *OSS) disconnect(in int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out, ok := o.cross[in]
+	if !ok {
+		return fmt.Errorf("oss: input %d not connected", in)
+	}
+	delete(o.cross, in)
+	delete(o.outInUse, out)
+	return nil
+}
+
+// CrossMap returns the current cross-connect state keyed by input port
+// (stringified for JSON transport).
+func (o *OSS) CrossMap() map[string]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int, len(o.cross))
+	for in, p := range o.cross {
+		out[fmt.Sprint(in)] = p
+	}
+	return out
+}
+
+// Amplifier emulates an EDFA run at fixed gain behind an input power
+// limiter — Iris's no-online-management amplifier configuration (§5.1).
+type Amplifier struct {
+	opLog
+	mu      sync.Mutex
+	gainDB  float64
+	limitIn float64 // input power limit, dBm
+	enabled bool
+}
+
+// NewAmplifier returns an amplifier with the given fixed gain and input
+// power limit.
+func NewAmplifier(gainDB, limitInDBm float64) *Amplifier {
+	return &Amplifier{gainDB: gainDB, limitIn: limitInDBm}
+}
+
+// Kind implements Device.
+func (a *Amplifier) Kind() string { return "amp" }
+
+// Handle implements Device. Operations: enable, disable, state.
+func (a *Amplifier) Handle(op string, args map[string]any) (map[string]any, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "enable":
+		a.enabled = true
+	case "disable":
+		a.enabled = false
+	case "state":
+		return map[string]any{
+			"gain_db":    a.gainDB,
+			"limit_dbm":  a.limitIn,
+			"enabled":    a.enabled,
+			"fixed_gain": true,
+		}, nil
+	default:
+		return nil, fmt.Errorf("amp: unknown op %q", op)
+	}
+	a.record(op, "")
+	return nil, nil
+}
+
+// Enabled reports whether the amplifier is active.
+func (a *Amplifier) Enabled() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.enabled
+}
+
+// TransceiverBank emulates a DC's tunable transceivers (the T2-attached
+// Acacia units of the testbed): each can be tuned to a wavelength index
+// and enabled or disabled. Disabling is how the controller drains traffic
+// from a circuit before switching it.
+type TransceiverBank struct {
+	opLog
+	mu      sync.Mutex
+	lambda  int   // wavelengths per fiber
+	tuned   []int // per transceiver: wavelength index, -1 if untuned
+	enabled []bool
+}
+
+// NewTransceiverBank returns a bank of n transceivers supporting lambda
+// wavelength slots.
+func NewTransceiverBank(n, lambda int) *TransceiverBank {
+	tuned := make([]int, n)
+	for i := range tuned {
+		tuned[i] = -1
+	}
+	return &TransceiverBank{lambda: lambda, tuned: tuned, enabled: make([]bool, n)}
+}
+
+// Kind implements Device.
+func (b *TransceiverBank) Kind() string { return "transceivers" }
+
+// Handle implements Device. Operations:
+//
+//	tune {idx, wavelength} — retune one transceiver (sub-millisecond)
+//	enable {idx} / disable {idx}
+//	state
+func (b *TransceiverBank) Handle(op string, args map[string]any) (map[string]any, error) {
+	switch op {
+	case "tune":
+		idx, err := argInt(args, "idx")
+		if err != nil {
+			return nil, err
+		}
+		w, err := argInt(args, "wavelength")
+		if err != nil {
+			return nil, err
+		}
+		if err := b.tune(idx, w); err != nil {
+			return nil, err
+		}
+		b.record(op, fmt.Sprintf("%d@%d", idx, w))
+		return nil, nil
+	case "enable", "disable":
+		idx, err := argInt(args, "idx")
+		if err != nil {
+			return nil, err
+		}
+		if err := b.setEnabled(idx, op == "enable"); err != nil {
+			return nil, err
+		}
+		b.record(op, fmt.Sprint(idx))
+		return nil, nil
+	case "state":
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		tuned := make([]any, len(b.tuned))
+		enabled := make([]any, len(b.enabled))
+		for i := range b.tuned {
+			tuned[i] = b.tuned[i]
+			enabled[i] = b.enabled[i]
+		}
+		return map[string]any{"tuned": tuned, "enabled": enabled, "lambda": b.lambda}, nil
+	default:
+		return nil, fmt.Errorf("transceivers: unknown op %q", op)
+	}
+}
+
+func (b *TransceiverBank) tune(idx, w int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= len(b.tuned) {
+		return fmt.Errorf("transceivers: index %d out of range [0,%d)", idx, len(b.tuned))
+	}
+	if w < -1 || w >= b.lambda {
+		return fmt.Errorf("transceivers: wavelength %d out of range [-1,%d)", w, b.lambda)
+	}
+	if b.enabled[idx] {
+		return fmt.Errorf("transceivers: %d must be disabled (drained) before retuning", idx)
+	}
+	b.tuned[idx] = w
+	return nil
+}
+
+func (b *TransceiverBank) setEnabled(idx int, on bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= len(b.enabled) {
+		return fmt.Errorf("transceivers: index %d out of range [0,%d)", idx, len(b.enabled))
+	}
+	if on && b.tuned[idx] < 0 {
+		return fmt.Errorf("transceivers: %d cannot enable while untuned", idx)
+	}
+	b.enabled[idx] = on
+	return nil
+}
+
+// Snapshot returns (tuned wavelength, enabled) for each transceiver.
+func (b *TransceiverBank) Snapshot() ([]int, []bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.tuned...), append([]bool(nil), b.enabled...)
+}
+
+// ChannelEmulator emulates the ASE-noise channel filler of §5.1: it keeps
+// the unused portion of the C-band spectrum occupied so amplifier gain
+// profiles stay uniform without online power management.
+type ChannelEmulator struct {
+	opLog
+	mu     sync.Mutex
+	lambda int
+	filled map[int]bool
+}
+
+// NewChannelEmulator returns an emulator for lambda wavelength slots.
+func NewChannelEmulator(lambda int) *ChannelEmulator {
+	return &ChannelEmulator{lambda: lambda, filled: make(map[int]bool)}
+}
+
+// Kind implements Device.
+func (e *ChannelEmulator) Kind() string { return "emulator" }
+
+// Handle implements Device. Operations:
+//
+//	fill {channels} — set exactly the given channels to carry ASE noise
+//	state
+func (e *ChannelEmulator) Handle(op string, args map[string]any) (map[string]any, error) {
+	switch op {
+	case "fill":
+		chans, err := argIntSlice(args, "channels")
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for _, c := range chans {
+			if c < 0 || c >= e.lambda {
+				return nil, fmt.Errorf("emulator: channel %d out of range [0,%d)", c, e.lambda)
+			}
+		}
+		e.filled = make(map[int]bool, len(chans))
+		for _, c := range chans {
+			e.filled[c] = true
+		}
+		e.record(op, fmt.Sprint(chans))
+		return nil, nil
+	case "state":
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		var chans []any
+		for c := 0; c < e.lambda; c++ {
+			if e.filled[c] {
+				chans = append(chans, c)
+			}
+		}
+		return map[string]any{"filled": chans, "lambda": e.lambda}, nil
+	default:
+		return nil, fmt.Errorf("emulator: unknown op %q", op)
+	}
+}
+
+// Filled returns the currently ASE-filled channels in ascending order.
+func (e *ChannelEmulator) Filled() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []int
+	for c := 0; c < e.lambda; c++ {
+		if e.filled[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package control implements the Iris control plane of §5 of the paper: a
+// centralized controller that configures optical space switches, tunable
+// transceivers, amplifiers and channel emulators across a region, using
+// the drain → switch → retune → undrain sequence that lets Iris avoid any
+// online optical power management.
+//
+// The paper's controller drove vendor hardware over serial, HTTPS and
+// NetConf; this package substitutes emulated device agents served over
+// TCP with a newline-delimited JSON protocol, preserving the control
+// logic, command set and sequencing while making the whole plane testable
+// in-process.
+package control
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Request is one controller-to-device command.
+type Request struct {
+	ID   int64          `json:"id"`
+	Op   string         `json:"op"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Response is a device's reply to a Request.
+type Response struct {
+	ID     int64          `json:"id"`
+	OK     bool           `json:"ok"`
+	Error  string         `json:"error,omitempty"`
+	Result map[string]any `json:"result,omitempty"`
+}
+
+// Device is the behaviour contract of an emulated optical component.
+// Handle must be safe for concurrent use.
+type Device interface {
+	// Kind identifies the device type ("oss", "amp", "transceivers",
+	// "emulator").
+	Kind() string
+	// Handle executes one operation and returns its result.
+	Handle(op string, args map[string]any) (map[string]any, error)
+}
+
+// Serve accepts connections on l and serves dev until the listener is
+// closed or ctx is cancelled. Cancellation closes active connections too,
+// so Serve never blocks shutdown on clients that keep their sockets open.
+// It returns the first non-shutdown error.
+func Serve(ctx context.Context, l net.Listener, dev Device) error {
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]bool)
+	)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+			mu.Lock()
+			for c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("control: accept: %w", err)
+		}
+		mu.Lock()
+		conns[conn] = true
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				conn.Close()
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+			serveConn(conn, dev)
+		}()
+	}
+}
+
+func serveConn(conn net.Conn, dev Device) {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp.Error = fmt.Sprintf("malformed request: %v", err)
+		} else {
+			resp.ID = req.ID
+			result, err := handleCommon(dev, req.Op, req.Args)
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.OK = true
+				resp.Result = result
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleCommon answers protocol-level operations and delegates the rest to
+// the device.
+func handleCommon(dev Device, op string, args map[string]any) (map[string]any, error) {
+	switch op {
+	case "ping":
+		return map[string]any{"kind": dev.Kind()}, nil
+	case "":
+		return nil, fmt.Errorf("empty op")
+	default:
+		return dev.Handle(op, args)
+	}
+}
+
+// Client is a connection to one device agent. It serialises calls; a
+// single TCP connection carries the whole exchange.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	sc     *bufio.Scanner
+	nextID int64
+}
+
+// DialDevice connects to a device agent.
+func DialDevice(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Call sends one operation and waits for its response.
+func (c *Client) Call(op string, args map[string]any) (map[string]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := Request{ID: c.nextID, Op: op, Args: args}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("control: send %s: %w", op, err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("control: recv %s: %w", op, err)
+		}
+		return nil, fmt.Errorf("control: connection closed during %s", op)
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("control: decode response to %s: %w", op, err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("control: response ID %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("control: %s: %s", op, resp.Error)
+	}
+	return resp.Result, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Argument decoding helpers: JSON numbers arrive as float64.
+
+func argInt(args map[string]any, key string) (int, error) {
+	v, ok := args[key]
+	if !ok {
+		return 0, fmt.Errorf("missing argument %q", key)
+	}
+	f, ok := v.(float64)
+	if !ok || f != float64(int(f)) {
+		return 0, fmt.Errorf("argument %q must be an integer, got %v", key, v)
+	}
+	return int(f), nil
+}
+
+func argIntSlice(args map[string]any, key string) ([]int, error) {
+	v, ok := args[key]
+	if !ok {
+		return nil, fmt.Errorf("missing argument %q", key)
+	}
+	raw, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("argument %q must be an array, got %T", key, v)
+	}
+	out := make([]int, len(raw))
+	for i, e := range raw {
+		f, ok := e.(float64)
+		if !ok || f != float64(int(f)) {
+			return nil, fmt.Errorf("argument %q[%d] must be an integer, got %v", key, i, e)
+		}
+		out[i] = int(f)
+	}
+	return out, nil
+}

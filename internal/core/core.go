@@ -1,0 +1,235 @@
+// Package core is the public face of the Iris library: it bundles the
+// paper's planning pipeline (§4), the cost models (§3.3, §6.1), and the
+// fiber-granularity circuit allocation the controller executes (§4.3,
+// §5.2) behind a small API.
+//
+// The typical flow is:
+//
+//	dep, err := core.Plan(region, core.Options{MaxFailures: 2})
+//	alloc, err := dep.Allocate(trafficMatrix)
+//	moves := core.Diff(oldAlloc, newAlloc)   // what a reconfiguration touches
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/cost"
+	"iris/internal/fibermap"
+	"iris/internal/hose"
+	"iris/internal/plan"
+	"iris/internal/traffic"
+)
+
+// Region is the planning input: a fiber map with placed DCs, each DC's
+// capacity in fiber-pairs, and the wavelength count per fiber.
+type Region struct {
+	Map      *fibermap.Map
+	Capacity map[int]int
+	Lambda   int
+}
+
+// Options tune planning.
+type Options struct {
+	// MaxFailures is the duct-cut tolerance (OC4); the paper's
+	// operational default is 2.
+	MaxFailures int
+	// Prices overrides the component catalog; zero value means the
+	// paper's §3.3 prices.
+	Prices cost.Catalog
+}
+
+// Deployment is a fully planned region: topology, capacity, optical
+// equipment, and the cost of implementing it under each switching
+// architecture.
+type Deployment struct {
+	Region Region
+	Plan   *plan.Plan
+	Iris   cost.Breakdown
+	EPS    cost.Breakdown
+	Hybrid cost.Breakdown
+}
+
+// Plan plans a region end to end.
+func Plan(region Region, opts Options) (*Deployment, error) {
+	pl, err := plan.New(plan.Input{
+		Map:         region.Map,
+		Capacity:    region.Capacity,
+		Lambda:      region.Lambda,
+		MaxFailures: opts.MaxFailures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prices := opts.Prices
+	if prices == (cost.Catalog{}) {
+		prices = cost.Default()
+	}
+	return &Deployment{
+		Region: region,
+		Plan:   pl,
+		Iris:   cost.Iris(pl, prices),
+		EPS:    cost.EPS(pl, prices),
+		Hybrid: cost.Hybrid(pl, prices),
+	}, nil
+}
+
+// Allocation is a fiber-granularity circuit assignment for one traffic
+// matrix: per DC pair, the number of dedicated full fibers, and the
+// wavelengths riding the pair's residual fiber for the fractional part
+// (§4.3: fractional demands never cost extra transceivers, only the
+// pre-provisioned residual fiber).
+type Allocation struct {
+	// Fibers is the number of full fiber-pairs dedicated to each DC pair.
+	Fibers map[hose.Pair]int
+	// Residual is the wavelength count carried on each pair's residual
+	// fiber (0 ≤ Residual < λ).
+	Residual map[hose.Pair]int
+}
+
+// FibersFor returns the full-fiber count for a pair.
+func (a Allocation) FibersFor(p hose.Pair) int { return a.Fibers[p.Canonical()] }
+
+// ResidualFor returns the residual wavelengths for a pair.
+func (a Allocation) ResidualFor(p hose.Pair) int { return a.Residual[p.Canonical()] }
+
+// Allocate converts a demand matrix (in wavelengths per DC pair) into a
+// circuit assignment, validating that demands respect the hose model and
+// that the provisioned duct capacities can carry the assignment.
+func (d *Deployment) Allocate(m *traffic.Matrix) (Allocation, error) {
+	lambda := d.Region.Lambda
+	// Hose feasibility: each DC's aggregate demand within its capacity.
+	use := m.PerDC()
+	for dc, agg := range use {
+		capW := float64(d.Region.Capacity[dc] * lambda)
+		if agg > capW+1e-9 {
+			return Allocation{}, fmt.Errorf(
+				"core: DC %d aggregate demand %.1f wavelengths exceeds capacity %.0f",
+				dc, agg, capW)
+		}
+	}
+
+	alloc := Allocation{
+		Fibers:   make(map[hose.Pair]int),
+		Residual: make(map[hose.Pair]int),
+	}
+	// Per-duct usage check against the plan.
+	fibersByDuct := make(map[int]int)
+	residualByDuct := make(map[int]int)
+	for _, p := range m.Pairs() {
+		demand := m.Get(p)
+		if demand == 0 {
+			continue
+		}
+		info, ok := d.Plan.Paths[p.Canonical()]
+		if !ok {
+			return Allocation{}, fmt.Errorf("core: no planned path for pair %d-%d", p.A, p.B)
+		}
+		full := int(demand) / lambda
+		rem := int(math.Ceil(demand-1e-9)) - full*lambda
+		if rem < 0 {
+			rem = 0
+		}
+		alloc.Fibers[p.Canonical()] = full
+		alloc.Residual[p.Canonical()] = rem
+		cut := make(map[int]bool, len(info.CutDucts))
+		for _, d := range info.CutDucts {
+			cut[d] = true
+		}
+		for _, duct := range info.Ducts {
+			// Ducts covered by this pair's cut-through carry its traffic
+			// on the dedicated cut-through fiber, not base capacity.
+			if !cut[duct] {
+				fibersByDuct[duct] += full
+			}
+			if rem > 0 {
+				residualByDuct[duct]++
+			}
+		}
+	}
+	for duct, used := range fibersByDuct {
+		du := d.Plan.Ducts[duct]
+		if du == nil || used > du.BasePairs {
+			base := 0
+			if du != nil {
+				base = du.BasePairs
+			}
+			return Allocation{}, fmt.Errorf(
+				"core: duct %d needs %d full fibers, provisioned %d", duct, used, base)
+		}
+	}
+	for duct, used := range residualByDuct {
+		du := d.Plan.Ducts[duct]
+		if du == nil || used > du.ResidualPairs {
+			res := 0
+			if du != nil {
+				res = du.ResidualPairs
+			}
+			return Allocation{}, fmt.Errorf(
+				"core: duct %d needs %d residual fibers, provisioned %d", duct, used, res)
+		}
+	}
+	return alloc, nil
+}
+
+// Move is one pair whose circuit assignment changes between two
+// allocations — the unit of reconfiguration work.
+type Move struct {
+	Pair hose.Pair
+	// FibersDelta is the change in dedicated fibers (signed).
+	FibersDelta int
+	// FracAffected is the fraction of the pair's old capacity that is
+	// unavailable during the fiber switch — what the flow simulator
+	// models as a Dip.
+	FracAffected float64
+}
+
+// Diff returns the moves needed to go from an old allocation to a new
+// one, in deterministic pair order. Pairs with unchanged fiber counts do
+// not appear: residual-wavelength changes retune transceivers (sub-
+// millisecond) without switching fibers (§5.2).
+func Diff(oldA, newA Allocation) []Move {
+	pairSet := make(map[hose.Pair]bool)
+	for p := range oldA.Fibers {
+		pairSet[p] = true
+	}
+	for p := range newA.Fibers {
+		pairSet[p] = true
+	}
+	pairs := make([]hose.Pair, 0, len(pairSet))
+	for p := range pairSet {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+
+	var moves []Move
+	for _, p := range pairs {
+		oldF, newF := oldA.Fibers[p], newA.Fibers[p]
+		if oldF == newF {
+			continue
+		}
+		delta := newF - oldF
+		// Capacity affected during the switch: only circuits being torn
+		// down carry traffic that must drain (§5.2); fibers joining a
+		// growing circuit were idle, so existing capacity is untouched.
+		frac := 0.0
+		if delta < 0 {
+			denom := oldF
+			if denom < 1 {
+				denom = 1
+			}
+			frac = float64(-delta) / float64(denom)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		moves = append(moves, Move{Pair: p, FibersDelta: delta, FracAffected: frac})
+	}
+	return moves
+}

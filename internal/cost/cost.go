@@ -1,0 +1,215 @@
+// Package cost prices regional DCI designs. It encodes the component cost
+// structure of §3.3 of the paper (annual amortized prices, in dollars) and
+// derives full-network bills of materials for the three switching
+// architectures the paper compares: electrical packet switching (EPS),
+// Iris fiber switching, and the hybrid fiber+wavelength design of
+// Appendix B. It also implements the §2.4 group port-count model behind
+// Fig. 7.
+package cost
+
+import (
+	"iris/internal/fibermap"
+	"iris/internal/plan"
+)
+
+// Catalog holds annual amortized component prices in dollars. The defaults
+// are the paper's published coarse prices; all headline results are ratios
+// and therefore depend only on the relative values.
+type Catalog struct {
+	// DCITransceiver is a DWDM switch-pluggable coherent transceiver
+	// covering DCI distances (400ZR class): ≈$10/Gbps over a 3-year
+	// amortization (§3.3).
+	DCITransceiver float64
+	// SRTransceiver is a short-reach (≤2 km) transceiver, an order of
+	// magnitude cheaper than a DCI transceiver.
+	SRTransceiver float64
+	// FiberPair is the per-span annual lease of one fiber pair,
+	// independent of distance (§3.3: ≈3× a transceiver).
+	FiberPair float64
+	// OSSPort is one unidirectional optical space switch port.
+	OSSPort float64
+	// OXCPort is one optical cross-connect port (OSS port plus its share
+	// of mux/demux hardware).
+	OXCPort float64
+	// Amplifier is one EDFA (≈ a few transceivers; it amplifies a whole
+	// fiber, so its share of total cost is small).
+	Amplifier float64
+	// ElectricalPort is one electrical switch port a transceiver plugs
+	// into (≈ transceiver/10).
+	ElectricalPort float64
+}
+
+// Default returns the paper's §3.3 price points.
+func Default() Catalog {
+	return Catalog{
+		DCITransceiver: 1300,
+		SRTransceiver:  130,
+		FiberPair:      3600,
+		OSSPort:        150,
+		OXCPort:        250,
+		Amplifier:      3900,
+		ElectricalPort: 130,
+	}
+}
+
+// WithSRPricedDCI returns the catalog with DCI transceivers (unrealistically
+// optimistically) priced as short-reach parts — the Fig. 12(b) sensitivity
+// analysis.
+func (c Catalog) WithSRPricedDCI() Catalog {
+	c.DCITransceiver = c.SRTransceiver
+	return c
+}
+
+// Breakdown is a priced bill of materials for one design on one region.
+type Breakdown struct {
+	Design string // "eps", "iris", or "hybrid"
+	Prices Catalog
+
+	DCTransceivers    int // coherent transceivers at DC sites
+	InNetTransceivers int // coherent transceivers at huts (EPS only)
+	FiberPairs        int // leased fiber-pairs, summed over spans
+	OSSPorts          int // unidirectional OSS ports (Iris/hybrid)
+	OXCPorts          int // wavelength-switching ports (hybrid only)
+	Amplifiers        int
+}
+
+// TransceiverCount returns all coherent transceivers in the design.
+func (b Breakdown) TransceiverCount() int { return b.DCTransceivers + b.InNetTransceivers }
+
+// Total returns the design's full annual cost. Every transceiver also
+// consumes one electrical switch port.
+func (b Breakdown) Total() float64 {
+	c := b.Prices
+	return float64(b.TransceiverCount())*(c.DCITransceiver+c.ElectricalPort) +
+		float64(b.FiberPairs)*c.FiberPair +
+		float64(b.OSSPorts)*c.OSSPort +
+		float64(b.OXCPorts)*c.OXCPort +
+		float64(b.Amplifiers)*c.Amplifier
+}
+
+// DCPortCount returns the ports at DC sites — the P = f·λ transceiver
+// ports per DC that are fixed across the design space (§6.1).
+func (b Breakdown) DCPortCount() int { return b.DCTransceivers }
+
+// InNetworkPortCount returns the ports that live in the network rather
+// than at the DC capacity edge: hut transceiver ports for EPS, optical
+// switch ports for Iris and the hybrid (Fig. 12c's metric).
+func (b Breakdown) InNetworkPortCount() int {
+	return b.InNetTransceivers + b.OSSPorts + b.OXCPorts
+}
+
+// InNetworkCost returns the design cost excluding the DC transceivers and
+// their electrical ports, which are identical across designs — the
+// "in-network" series of Fig. 12(a).
+func (b Breakdown) InNetworkCost() float64 {
+	c := b.Prices
+	return b.Total() - float64(b.DCTransceivers)*(c.DCITransceiver+c.ElectricalPort)
+}
+
+// EPS prices the electrical packet-switched implementation of a plan's
+// topology (§4.2): the Algorithm 1 base fiber, with every fiber terminated
+// in λ transceivers at each end and traffic switched electrically at every
+// intermediate site. No residual fiber, amplifiers, or cut-throughs are
+// needed — every span ends in an O-E-O conversion.
+func EPS(pl *plan.Plan, c Catalog) Breakdown {
+	b := Breakdown{Design: "eps", Prices: c}
+	lambda := pl.Input.Lambda
+	m := pl.Input.Map
+	for id, du := range pl.Ducts {
+		if du.BasePairs == 0 {
+			continue
+		}
+		b.FiberPairs += du.BasePairs
+		d := m.Ducts[id]
+		for _, end := range []int{d.A, d.B} {
+			if m.Nodes[end].Kind == fibermap.DC {
+				b.DCTransceivers += du.BasePairs * lambda
+			} else {
+				b.InNetTransceivers += du.BasePairs * lambda
+			}
+		}
+	}
+	return b
+}
+
+// Iris prices the all-optical fiber-switched implementation (§4.3):
+// transceivers only at DCs (λ per capacity fiber-pair), the full planned
+// fiber including residual and cut-through pairs, four OSS ports per
+// fiber-pair (two fibers × two ends), and the planned amplifiers.
+func Iris(pl *plan.Plan, c Catalog) Breakdown {
+	b := Breakdown{Design: "iris", Prices: c}
+	lambda := pl.Input.Lambda
+	for _, dc := range pl.Input.Map.DCs() {
+		b.DCTransceivers += pl.Input.Capacity[dc] * lambda
+	}
+	b.FiberPairs = pl.TotalFiberPairs()
+	// Each leased pair terminates on OSS ports at both ends of its run:
+	// 2 fibers × 2 ends. Cut-through pairs pass interior huts unswitched,
+	// so they buy ports only at their endpoints — which is exactly one
+	// "run" per cut-through link rather than one per duct.
+	portPairs := 0
+	for _, du := range pl.Ducts {
+		portPairs += du.BasePairs + du.ResidualPairs
+	}
+	for _, ct := range pl.Cuts {
+		portPairs += ct.Pairs
+	}
+	b.OSSPorts = 4 * portPairs
+	b.Amplifiers = pl.TotalAmps()
+	return b
+}
+
+// Hybrid prices the Appendix B fiber+wavelength design: identical to Iris
+// except that residual fibers are bundled by wavelength-switching hardware
+// where they share a subpath. Residual capacity to different destinations
+// combines at the source DC and rides one fiber to a hut on the shared
+// prefix, where wavelengths separate onto dedicated fibers — and
+// symmetrically on the destination side (Appendix B's construction).
+// Observation 2 bounds the bundle at four residual fibers per merged
+// fiber. Each merged-away fiber pays four OXC ports for the added
+// wavelength-switching stages.
+//
+// The bundling structure is derived from the failure-free paths; residual
+// fiber provisioned for failure reroutes keeps Iris's one-per-pair layout,
+// which keeps the estimate conservative.
+func Hybrid(pl *plan.Plan, c Catalog) Breakdown {
+	b := Iris(pl, c)
+	b.Design = "hybrid"
+
+	// Attribute each pair's residual crossing of a duct to the endpoint
+	// whose side of the path the duct lies on: crossings in the first
+	// half bundle at the source, the rest at the destination.
+	type group struct {
+		duct     int
+		endpoint int
+	}
+	counts := make(map[group]int)
+	for pair, info := range pl.Paths {
+		half := len(info.Ducts) / 2
+		for i, duct := range info.Ducts {
+			end := pair.A
+			if i >= half {
+				end = pair.B
+			}
+			counts[group{duct, end}]++
+		}
+	}
+	savedByDuct := make(map[int]int)
+	for g, k := range counts {
+		savedByDuct[g.duct] += k - (k+3)/4 // Observation 2: 4:1 bundling
+	}
+	saved := 0
+	for id, du := range pl.Ducts {
+		s := savedByDuct[id]
+		// Failure-scenario residual beyond the base-path count stays
+		// unbundled; never save more than the duct actually carries.
+		if s > du.ResidualPairs {
+			s = du.ResidualPairs
+		}
+		saved += s
+	}
+	b.FiberPairs -= saved
+	b.OSSPorts -= 4 * saved
+	b.OXCPorts = 4 * saved
+	return b
+}

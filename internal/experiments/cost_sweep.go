@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iris/internal/cost"
+	"iris/internal/fibermap"
+	"iris/internal/plan"
+	"iris/internal/stats"
+)
+
+// SweepConfig is the Fig. 12 scenario grid: fiber maps × region sizes ×
+// DC capacities × wavelengths per fiber.
+type SweepConfig struct {
+	MapSeeds    []int64
+	Ns          []int // DCs per region
+	Fs          []int // DC capacity in fiber-pairs
+	Lambdas     []int // wavelengths per fiber
+	MaxFailures int   // failure tolerance for the Iris plan
+}
+
+// PaperSweep is the full grid of §6.1: 10 maps × n∈{5,10,15,20} ×
+// f∈{8,16,32} × λ∈{40,64} = 240 scenarios with 2-failure tolerance.
+func PaperSweep() SweepConfig {
+	seeds := make([]int64, 10)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	return SweepConfig{
+		MapSeeds:    seeds,
+		Ns:          []int{5, 10, 15, 20},
+		Fs:          []int{8, 16, 32},
+		Lambdas:     []int{40, 64},
+		MaxFailures: 2,
+	}
+}
+
+// QuickSweep is a reduced grid for tests and benchmarks: same structure,
+// single-failure tolerance, 24 scenarios.
+func QuickSweep() SweepConfig {
+	return SweepConfig{
+		MapSeeds:    []int64{0, 1, 2},
+		Ns:          []int{5, 10},
+		Fs:          []int{8, 16},
+		Lambdas:     []int{40, 64},
+		MaxFailures: 1,
+	}
+}
+
+// Scenario identifies one sweep point.
+type Scenario struct {
+	MapSeed int64
+	N       int
+	F       int
+	Lambda  int
+}
+
+// SweepRow is the evaluation of one scenario.
+type SweepRow struct {
+	Scenario
+
+	EPS    cost.Breakdown // EPS on the same failure-tolerant plan
+	Iris   cost.Breakdown
+	Hybrid cost.Breakdown
+
+	// EPSNoFailures prices EPS on a 0-failure plan (Fig. 12d's baseline).
+	EPSNoFailures cost.Breakdown
+
+	// OverheadFrac is the Appendix A metric: the share of the Iris cost
+	// attributable to amplifiers and cut-through fiber.
+	OverheadFrac float64
+
+	// SLAViolations and PlanViolations report pairs whose surviving paths
+	// exceeded the SLA or optical constraints in some failure scenario.
+	SLAViolations  int
+	PlanViolations int
+}
+
+// Sweep evaluates the grid. Scenario construction is deterministic in the
+// config, so two runs produce identical rows.
+func Sweep(cfg SweepConfig) ([]SweepRow, error) {
+	var rows []SweepRow
+	prices := cost.Default()
+	for _, seed := range cfg.MapSeeds {
+		for _, n := range cfg.Ns {
+			base := fibermap.Generate(fibermap.DefaultGenConfig(seed))
+			dcs, err := fibermap.PlaceDCs(base, fibermap.DefaultPlaceConfig(seed*31+int64(n), n))
+			if err != nil {
+				return nil, fmt.Errorf("map %d n=%d: %w", seed, n, err)
+			}
+			for _, f := range cfg.Fs {
+				caps := make(map[int]int, len(dcs))
+				for _, dc := range dcs {
+					caps[dc] = f
+				}
+				for _, lambda := range cfg.Lambdas {
+					in := plan.Input{Map: base, Capacity: caps, Lambda: lambda, MaxFailures: cfg.MaxFailures}
+					pl, err := plan.New(in)
+					if err != nil {
+						return nil, fmt.Errorf("map %d n=%d f=%d λ=%d: %w", seed, n, f, lambda, err)
+					}
+					in0 := in
+					in0.MaxFailures = 0
+					pl0, err := plan.New(in0)
+					if err != nil {
+						return nil, fmt.Errorf("map %d n=%d f=%d λ=%d (0 failures): %w", seed, n, f, lambda, err)
+					}
+					row := SweepRow{
+						Scenario:       Scenario{MapSeed: seed, N: n, F: f, Lambda: lambda},
+						EPS:            cost.EPS(pl, prices),
+						Iris:           cost.Iris(pl, prices),
+						Hybrid:         cost.Hybrid(pl, prices),
+						EPSNoFailures:  cost.EPS(pl0, prices),
+						SLAViolations:  len(pl.SLA),
+						PlanViolations: len(pl.Viol),
+					}
+					row.OverheadFrac = overheadFrac(pl, prices, row.Iris)
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// overheadFrac computes the Appendix A cost share of amplifiers and
+// cut-through fiber relative to the total Iris network cost.
+func overheadFrac(pl *plan.Plan, prices cost.Catalog, iris cost.Breakdown) float64 {
+	ctPairs := 0
+	for _, du := range pl.Ducts {
+		ctPairs += du.CutThroughPairs
+	}
+	overhead := float64(pl.TotalAmps())*prices.Amplifier + float64(ctPairs)*prices.FiberPair
+	total := iris.Total()
+	if total == 0 {
+		return 0
+	}
+	return overhead / total
+}
+
+// Ratios extracts the Fig. 12(a) cost-ratio distributions from the rows.
+type Ratios struct {
+	EPSOverIris      []float64
+	EPSOverHybrid    []float64
+	EPSOverIrisInNet []float64
+	// PortRatioEPS and PortRatioIris are Fig. 12(c)'s in-network-to-DC
+	// port ratios.
+	PortRatioEPS  []float64
+	PortRatioIris []float64
+	// EPS0OverIris is Fig. 12(d): zero-failure EPS over 2-failure Iris.
+	EPS0OverIris []float64
+	// SROverIris recomputes EPS/Iris with SR-priced DCI transceivers
+	// (Fig. 12b).
+	SROverIris []float64
+	// Overheads is the Appendix A distribution.
+	Overheads []float64
+}
+
+// ExtractRatios computes every distribution the Fig. 12 panels plot.
+func ExtractRatios(rows []SweepRow) Ratios {
+	var r Ratios
+	sr := cost.Default().WithSRPricedDCI()
+	for _, row := range rows {
+		r.EPSOverIris = append(r.EPSOverIris, row.EPS.Total()/row.Iris.Total())
+		r.EPSOverHybrid = append(r.EPSOverHybrid, row.EPS.Total()/row.Hybrid.Total())
+		r.EPSOverIrisInNet = append(r.EPSOverIrisInNet, row.EPS.InNetworkCost()/row.Iris.InNetworkCost())
+		r.PortRatioEPS = append(r.PortRatioEPS,
+			float64(row.EPS.InNetworkPortCount())/float64(row.EPS.DCPortCount()))
+		r.PortRatioIris = append(r.PortRatioIris,
+			float64(row.Iris.InNetworkPortCount())/float64(row.Iris.DCPortCount()))
+		r.EPS0OverIris = append(r.EPS0OverIris, row.EPSNoFailures.Total()/row.Iris.Total())
+		r.Overheads = append(r.Overheads, row.OverheadFrac)
+
+		eps := row.EPS
+		eps.Prices = sr
+		iris := row.Iris
+		iris.Prices = sr
+		r.SROverIris = append(r.SROverIris, eps.Total()/iris.Total())
+	}
+	return r
+}
+
+// FormatFig12 renders the four panels' headline statistics plus CDF rows.
+func FormatFig12(r Ratios) string {
+	var b strings.Builder
+	cdfLine := func(name string, xs []float64, marks []float64) {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, m := range marks {
+			fmt.Fprintf(&b, " P(x≤%.0f)=%.2f", m, stats.CDFAt(xs, m))
+		}
+		fmt.Fprintf(&b, "  median=%.2f\n", stats.Median(xs))
+	}
+	fmt.Fprintf(&b, "Fig. 12(a) — cost ratios over %d scenarios\n", len(r.EPSOverIris))
+	cdfLine("EPS / Iris", r.EPSOverIris, []float64{1, 5, 10, 15})
+	cdfLine("EPS / Hybrid", r.EPSOverHybrid, []float64{1, 5, 10, 15})
+	cdfLine("EPS / Iris (in-network)", r.EPSOverIrisInNet, []float64{1, 5, 10, 15})
+	fmt.Fprintf(&b, "EPS ≥5x Iris in %.0f%% of scenarios (paper: 80%%)\n\n",
+		(1-stats.CDFAt(r.EPSOverIris, 5))*100)
+
+	fmt.Fprintf(&b, "Fig. 12(b) — with DCI transceivers priced as short-reach\n")
+	cdfLine("EPS / Iris (SR prices)", r.SROverIris, []float64{1, 2, 4})
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Fig. 12(c) — in-network ports per DC port\n")
+	cdfLine("EPS", r.PortRatioEPS, []float64{1, 5, 10, 20})
+	cdfLine("Iris", r.PortRatioIris, []float64{1, 5, 10, 20})
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Fig. 12(d) — EPS with no failure guarantees vs. Iris surviving %d cuts\n", 2)
+	cdfLine("EPS(0) / Iris(2)", r.EPS0OverIris, []float64{1, 2, 4})
+	fmt.Fprintf(&b, "EPS(0) ≥2x Iris(2) in %.0f%% of scenarios (paper: all)\n",
+		(1-stats.CDFAt(r.EPS0OverIris, 2))*100)
+	return b.String()
+}
+
+// FormatAppendixA renders the amplifier/cut-through overhead distribution.
+func FormatAppendixA(r Ratios) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Appendix A — amplifier + cut-through cost overhead\n")
+	fmt.Fprintf(&b, "mean %.1f%%  worst %.1f%% (paper: 3%% mean, 8%% worst)\n",
+		stats.Mean(r.Overheads)*100, stats.Max(r.Overheads)*100)
+	return b.String()
+}
+
+// ToyResult is the §3.4 worked example.
+type ToyResult struct {
+	EPS, Iris cost.Breakdown
+	Ratio     float64
+}
+
+// Toy reproduces the §3.4 cost comparison on the Fig. 10 region.
+func Toy() (ToyResult, error) {
+	r := fibermap.Toy()
+	caps := make(map[int]int)
+	for _, dc := range r.Map.DCs() {
+		caps[dc] = 10
+	}
+	pl, err := plan.New(plan.Input{Map: r.Map, Capacity: caps, Lambda: 40})
+	if err != nil {
+		return ToyResult{}, err
+	}
+	prices := cost.Default()
+	res := ToyResult{EPS: cost.EPS(pl, prices), Iris: cost.Iris(pl, prices)}
+	res.Ratio = res.EPS.Total() / res.Iris.Total()
+	return res, nil
+}
+
+// Format renders the toy example the way §3.4 walks through it.
+func (t ToyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§3.4 — toy example (Fig. 10, 4 DCs × 160 Tbps, λ=40)\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-12s %-10s %s\n", "design", "transceivers", "fiber-pairs", "OSS ports", "annual cost")
+	fmt.Fprintf(&b, "%-12s %-14d %-12d %-10d $%.0f\n", "electrical",
+		t.EPS.TransceiverCount(), t.EPS.FiberPairs, t.EPS.OSSPorts, t.EPS.Total())
+	fmt.Fprintf(&b, "%-12s %-14d %-12d %-10d $%.0f\n", "iris",
+		t.Iris.TransceiverCount(), t.Iris.FiberPairs, t.Iris.OSSPorts, t.Iris.Total())
+	fmt.Fprintf(&b, "electrical / iris = %.2fx (paper: 2.7x)\n", t.Ratio)
+	return b.String()
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig2(t *testing.T) {
+	e := Fig2()
+	if r := e.Reduction(); r < 5 || r > 7 {
+		t.Errorf("reduction = %.1f, want ≈6", r)
+	}
+	out := FormatFig2(e)
+	for _, want := range []string{"Fig. 2", "direct", "via hub", "6x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

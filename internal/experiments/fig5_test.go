@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig5(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.Width = 40
+	near, far, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countChar := func(s string, ch byte) int {
+		n := 0
+		for i := 0; i < len(s); i++ {
+			if s[i] == ch {
+				n++
+			}
+		}
+		return n
+	}
+	// The centralized ('#') area must shrink when the hubs spread out;
+	// the total distributed area ('#'+'+') stays the same.
+	if countChar(far, '#') > countChar(near, '#') {
+		t.Errorf("far-hub centralized area (%d) exceeds near-hub (%d)",
+			countChar(far, '#'), countChar(near, '#'))
+	}
+	nearTotal := countChar(near, '#') + countChar(near, '+')
+	farTotal := countChar(far, '#') + countChar(far, '+')
+	if diff := nearTotal - farTotal; diff > 4 || diff < -4 {
+		t.Errorf("distributed area differs across hub placements: %d vs %d", nearTotal, farTotal)
+	}
+	out := FormatFig5(near, far)
+	if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "hubs far apart") {
+		t.Error("Format missing captions")
+	}
+}

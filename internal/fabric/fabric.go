@@ -1,0 +1,543 @@
+// Package fabric materialises a planned deployment (internal/core) into a
+// concrete optical fabric: named devices with sized port counts, a
+// deterministic port map for every fiber of every duct, and a compiler
+// that turns circuit-allocation changes into the device operations the
+// controller (internal/control) executes.
+//
+// It is the glue the paper describes between planning and operation
+// (§5.1–§5.2): the planner decides fibers and equipment; the fabric
+// assigns fibers to OSS ports and transceivers to wavelengths; the
+// controller drains, switches, retunes and undrains.
+//
+// Modelling notes: OSS ports here are fiber-pair-granularity (one logical
+// port per bidirectional pair — the physical device has two unidirectional
+// ports per pair, which the cost model counts); amplifier loopback ports
+// and cut-through bypasses affect which nodes a circuit is switched at,
+// not the number of ops compiled per switched node.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iris/internal/control"
+	"iris/internal/core"
+	"iris/internal/hose"
+	"iris/internal/optics"
+)
+
+// Fabric is the materialised deployment plus its current circuit state.
+type Fabric struct {
+	dep    *core.Deployment
+	lambda int
+
+	// Port layout.
+	ossSize   map[int]int         // node -> OSS port count
+	ductBase  map[int]map[int]int // node -> duct -> first port index
+	localBase map[int]int         // DC -> first local (transceiver-side) port
+	localSize map[int]int         // DC -> local port count
+
+	// Allocators.
+	ductFibers map[int]*pool // duct -> fiber-pair indices
+	localPorts map[int]*pool // DC -> local port indices
+	xcvrs      map[int]*pool // DC -> transceiver indices
+
+	// Circuit state.
+	full     map[hose.Pair][]*circuit
+	residual map[hose.Pair]*circuit
+	// ampRefs counts live circuits using each amplifier site, so the
+	// compiler enables an amp with its first user and parks it with the
+	// last.
+	ampRefs map[int]int
+}
+
+// circuit is one end-to-end fiber circuit for a DC pair.
+type circuit struct {
+	pair     hose.Pair
+	path     *coreFilePath
+	localA   int   // local port index at pair.A
+	localB   int   // local port index at pair.B
+	fiberIdx []int // per duct along the path: fiber-pair index in the duct
+	// live wavelength slots and the transceivers carrying them, per DC.
+	live  int
+	xcvrA []int
+	xcvrB []int
+}
+
+// coreFilePath caches the plan path plus lookup sets.
+type coreFilePath struct {
+	nodes    []int
+	ducts    []int
+	bypassed map[int]bool
+	ampNodes []int
+}
+
+// pool is a free-list allocator over [0, n).
+type pool struct {
+	n    int
+	free []int
+}
+
+func newPool(n int) *pool {
+	p := &pool{n: n, free: make([]int, n)}
+	for i := range p.free {
+		p.free[i] = n - 1 - i // pop from the back yields ascending order
+	}
+	return p
+}
+
+func (p *pool) get() (int, bool) {
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	v := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return v, true
+}
+
+func (p *pool) getN(k int) ([]int, bool) {
+	if len(p.free) < k {
+		return nil, false
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i], _ = p.get()
+	}
+	return out, true
+}
+
+func (p *pool) put(vs ...int) {
+	p.free = append(p.free, vs...)
+}
+
+// Build materialises a deployment. The port layout is fully determined by
+// the plan, so two Builds of the same deployment are identical.
+func Build(dep *core.Deployment) (*Fabric, error) {
+	if dep == nil || dep.Plan == nil {
+		return nil, fmt.Errorf("fabric: nil deployment")
+	}
+	f := &Fabric{
+		dep:        dep,
+		lambda:     dep.Region.Lambda,
+		ossSize:    make(map[int]int),
+		ductBase:   make(map[int]map[int]int),
+		localBase:  make(map[int]int),
+		localSize:  make(map[int]int),
+		ductFibers: make(map[int]*pool),
+		localPorts: make(map[int]*pool),
+		xcvrs:      make(map[int]*pool),
+		full:       make(map[hose.Pair][]*circuit),
+		residual:   make(map[hose.Pair]*circuit),
+		ampRefs:    make(map[int]int),
+	}
+	m := dep.Region.Map
+	pl := dep.Plan
+
+	// Duct-side ports, in duct-ID order for determinism.
+	ductIDs := make([]int, 0, len(pl.Ducts))
+	for id := range pl.Ducts {
+		ductIDs = append(ductIDs, id)
+	}
+	sort.Ints(ductIDs)
+	for _, id := range ductIDs {
+		du := pl.Ducts[id]
+		pairs := du.TotalPairs()
+		if pairs == 0 {
+			continue
+		}
+		f.ductFibers[id] = newPool(pairs)
+		d := m.Ducts[id]
+		for _, end := range []int{d.A, d.B} {
+			if f.ductBase[end] == nil {
+				f.ductBase[end] = make(map[int]int)
+			}
+			f.ductBase[end][id] = f.ossSize[end]
+			f.ossSize[end] += pairs
+		}
+	}
+
+	// Local (transceiver-side) ports and transceiver banks at DCs.
+	dcs := m.DCs()
+	for _, dc := range dcs {
+		capacity := dep.Region.Capacity[dc]
+		local := capacity + len(dcs) - 1 // full fibers + one residual per peer
+		f.localBase[dc] = f.ossSize[dc]
+		f.localSize[dc] = local
+		f.ossSize[dc] += local
+		f.localPorts[dc] = newPool(local)
+		f.xcvrs[dc] = newPool(capacity * f.lambda)
+	}
+	return f, nil
+}
+
+// Deployment returns the deployment the fabric was built from.
+func (f *Fabric) Deployment() *core.Deployment { return f.dep }
+
+// Device naming.
+
+// OSSName returns the device name of a node's optical space switch.
+func (f *Fabric) OSSName(node int) string {
+	return f.dep.Region.Map.Nodes[node].Name + "-oss"
+}
+
+// XcvrName returns the device name of a DC's transceiver bank.
+func (f *Fabric) XcvrName(dc int) string {
+	return f.dep.Region.Map.Nodes[dc].Name + "-xcvr"
+}
+
+// AmpName returns the device name of a node's amplifier group.
+func (f *Fabric) AmpName(node int) string {
+	return f.dep.Region.Map.Nodes[node].Name + "-amp"
+}
+
+// Devices builds the emulated device set for the whole fabric, sized from
+// the plan, suitable for control.StartTestbed.
+func (f *Fabric) Devices(ossDelay time.Duration) map[string]control.Device {
+	devs := make(map[string]control.Device)
+	m := f.dep.Region.Map
+	for node, size := range f.ossSize {
+		if size == 0 {
+			continue
+		}
+		devs[f.OSSName(node)] = control.NewOSS(size, ossDelay)
+	}
+	for _, dc := range m.DCs() {
+		devs[f.XcvrName(dc)] = control.NewTransceiverBank(
+			f.dep.Region.Capacity[dc]*f.lambda, f.lambda)
+	}
+	for node, count := range f.dep.Plan.Amps {
+		if count > 0 {
+			devs[f.AmpName(node)] = control.NewAmplifier(optics.AmpGainDB, -3)
+		}
+	}
+	return devs
+}
+
+// Port returns the OSS port of fiber-pair fiberIdx of the given duct at
+// the given node.
+func (f *Fabric) Port(node, duct, fiberIdx int) (int, error) {
+	bases, ok := f.ductBase[node]
+	if !ok {
+		return 0, fmt.Errorf("fabric: node %d has no duct ports", node)
+	}
+	base, ok := bases[duct]
+	if !ok {
+		return 0, fmt.Errorf("fabric: duct %d does not terminate at node %d", duct, node)
+	}
+	return base + fiberIdx, nil
+}
+
+// LocalPort returns the transceiver-side OSS port of a DC's local fiber.
+func (f *Fabric) LocalPort(dc, localIdx int) (int, error) {
+	base, ok := f.localBase[dc]
+	if !ok {
+		return 0, fmt.Errorf("fabric: node %d is not a DC", dc)
+	}
+	if localIdx < 0 || localIdx >= f.localSize[dc] {
+		return 0, fmt.Errorf("fabric: local index %d out of range [0,%d)", localIdx, f.localSize[dc])
+	}
+	return base + localIdx, nil
+}
+
+// OSSPortCount returns the sized port count of a node's OSS (0 if the node
+// needs none).
+func (f *Fabric) OSSPortCount(node int) int { return f.ossSize[node] }
+
+func (f *Fabric) pathFor(p hose.Pair) (*coreFilePath, error) {
+	info, ok := f.dep.Plan.Paths[p.Canonical()]
+	if !ok {
+		return nil, fmt.Errorf("fabric: no planned path for %d-%d", p.A, p.B)
+	}
+	cp := &coreFilePath{
+		nodes: info.Nodes, ducts: info.Ducts,
+		bypassed: make(map[int]bool),
+		ampNodes: info.AmpNodes,
+	}
+	for _, n := range info.Bypassed {
+		cp.bypassed[n] = true
+	}
+	return cp, nil
+}
+
+// fiberKindOf tells the compiler which per-duct accounting bucket a
+// circuit's fiber comes from; the pools do not distinguish, matching the
+// paper's observation that residual fibers are ordinary leased fibers.
+
+// establish allocates resources for one circuit and appends its device
+// operations to the change.
+func (f *Fabric) establish(ch *control.Change, p hose.Pair, live int) (*circuit, error) {
+	path, err := f.pathFor(p)
+	if err != nil {
+		return nil, err
+	}
+	c := &circuit{pair: p.Canonical(), path: path, live: live}
+
+	la, ok := f.localPorts[c.pair.A].get()
+	if !ok {
+		return nil, fmt.Errorf("fabric: DC %d out of local ports", c.pair.A)
+	}
+	lb, ok := f.localPorts[c.pair.B].get()
+	if !ok {
+		f.localPorts[c.pair.A].put(la)
+		return nil, fmt.Errorf("fabric: DC %d out of local ports", c.pair.B)
+	}
+	c.localA, c.localB = la, lb
+
+	for _, duct := range path.ducts {
+		idx, ok := f.ductFibers[duct].get()
+		if !ok {
+			f.release(c)
+			return nil, fmt.Errorf("fabric: duct %d out of fibers for %d-%d", duct, p.A, p.B)
+		}
+		c.fiberIdx = append(c.fiberIdx, idx)
+	}
+
+	xa, ok := f.xcvrs[c.pair.A].getN(live)
+	if !ok {
+		f.release(c)
+		return nil, fmt.Errorf("fabric: DC %d out of transceivers", c.pair.A)
+	}
+	xb, ok := f.xcvrs[c.pair.B].getN(live)
+	if !ok {
+		f.xcvrs[c.pair.A].put(xa...)
+		f.release(c)
+		return nil, fmt.Errorf("fabric: DC %d out of transceivers", c.pair.B)
+	}
+	c.xcvrA, c.xcvrB = xa, xb
+
+	ops, err := f.circuitOps(c, false)
+	if err != nil {
+		f.xcvrs[c.pair.A].put(xa...)
+		f.xcvrs[c.pair.B].put(xb...)
+		f.release(c)
+		return nil, err
+	}
+	ch.Switches = append(ch.Switches, ops...)
+	// First circuit through an amplifier site turns its amps on.
+	for _, n := range path.ampNodes {
+		if f.ampRefs[n] == 0 {
+			ch.Amps = append(ch.Amps, control.AmpOp{Device: f.AmpName(n), Enable: true})
+		}
+		f.ampRefs[n]++
+	}
+	for slot := 0; slot < live; slot++ {
+		ch.Retunes = append(ch.Retunes,
+			control.TransceiverOp{Device: f.XcvrName(c.pair.A), Idx: xa[slot], Wavelength: slot},
+			control.TransceiverOp{Device: f.XcvrName(c.pair.B), Idx: xb[slot], Wavelength: slot},
+		)
+		ch.Undrain = append(ch.Undrain,
+			control.TransceiverOp{Device: f.XcvrName(c.pair.A), Idx: xa[slot]},
+			control.TransceiverOp{Device: f.XcvrName(c.pair.B), Idx: xb[slot]},
+		)
+	}
+	return c, nil
+}
+
+// teardown appends the operations that remove a circuit and frees its
+// resources.
+func (f *Fabric) teardown(ch *control.Change, c *circuit) error {
+	for slot := 0; slot < c.live; slot++ {
+		ch.Drain = append(ch.Drain,
+			control.TransceiverOp{Device: f.XcvrName(c.pair.A), Idx: c.xcvrA[slot]},
+			control.TransceiverOp{Device: f.XcvrName(c.pair.B), Idx: c.xcvrB[slot]},
+		)
+	}
+	ops, err := f.circuitOps(c, true)
+	if err != nil {
+		return err
+	}
+	ch.Switches = append(ch.Switches, ops...)
+	// Last circuit through an amplifier site parks its amps.
+	for _, n := range c.path.ampNodes {
+		f.ampRefs[n]--
+		if f.ampRefs[n] == 0 {
+			ch.Amps = append(ch.Amps, control.AmpOp{Device: f.AmpName(n), Enable: false})
+		}
+	}
+	f.xcvrs[c.pair.A].put(c.xcvrA...)
+	f.xcvrs[c.pair.B].put(c.xcvrB...)
+	f.release(c)
+	return nil
+}
+
+// release returns the circuit's ports and fibers to their pools.
+func (f *Fabric) release(c *circuit) {
+	f.localPorts[c.pair.A].put(c.localA)
+	f.localPorts[c.pair.B].put(c.localB)
+	for i, duct := range c.path.ducts[:len(c.fiberIdx)] {
+		f.ductFibers[duct].put(c.fiberIdx[i])
+	}
+	c.fiberIdx = nil
+}
+
+// circuitOps emits the OSS operations along the circuit's path. For a
+// disconnect only the input port of each cross-connect is named.
+func (f *Fabric) circuitOps(c *circuit, disconnect bool) ([]control.OSSOp, error) {
+	var ops []control.OSSOp
+	add := func(node, in, out int) {
+		ops = append(ops, control.OSSOp{
+			Device: f.OSSName(node), In: in, Out: out, Disconnect: disconnect,
+		})
+	}
+	// Source DC: local port -> first duct.
+	aLocal, err := f.LocalPort(c.pair.A, c.localA)
+	if err != nil {
+		return nil, err
+	}
+	first, err := f.Port(pathEndpointA(c), c.path.ducts[0], c.fiberIdx[0])
+	if err != nil {
+		return nil, err
+	}
+	add(pathEndpointA(c), aLocal, first)
+
+	// Interior switched nodes.
+	for i := 0; i < len(c.path.ducts)-1; i++ {
+		node := c.path.nodes[i+1]
+		if c.path.bypassed[node] {
+			continue // cut-through: the fiber passes the hut unswitched
+		}
+		in, err := f.Port(node, c.path.ducts[i], c.fiberIdx[i])
+		if err != nil {
+			return nil, err
+		}
+		out, err := f.Port(node, c.path.ducts[i+1], c.fiberIdx[i+1])
+		if err != nil {
+			return nil, err
+		}
+		add(node, in, out)
+	}
+
+	// Destination DC: last duct -> local port.
+	last := len(c.path.ducts) - 1
+	in, err := f.Port(pathEndpointB(c), c.path.ducts[last], c.fiberIdx[last])
+	if err != nil {
+		return nil, err
+	}
+	bLocal, err := f.LocalPort(c.pair.B, c.localB)
+	if err != nil {
+		return nil, err
+	}
+	add(pathEndpointB(c), in, bLocal)
+	return ops, nil
+}
+
+func pathEndpointA(c *circuit) int { return c.path.nodes[0] }
+func pathEndpointB(c *circuit) int { return c.path.nodes[len(c.path.nodes)-1] }
+
+// CompileTarget computes the change that moves the fabric from its current
+// circuit state to the given allocation, updating the fabric state. The
+// returned change follows the §5.2 discipline: drains of torn-down or
+// resized circuits come first, then all OSS operations (disconnects before
+// connects), then retunes, then undrains.
+func (f *Fabric) CompileTarget(alloc core.Allocation) (control.Change, error) {
+	var ch control.Change
+
+	pairs := make(map[hose.Pair]bool)
+	for p := range alloc.Fibers {
+		pairs[p.Canonical()] = true
+	}
+	for p := range f.full {
+		pairs[p] = true
+	}
+	for p := range f.residual {
+		pairs[p] = true
+	}
+	ordered := make([]hose.Pair, 0, len(pairs))
+	for p := range pairs {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].A != ordered[j].A {
+			return ordered[i].A < ordered[j].A
+		}
+		return ordered[i].B < ordered[j].B
+	})
+
+	// Teardowns first so their fibers and transceivers free up for the
+	// establishes compiled after them (the controller runs disconnects
+	// before connects within the switch phase).
+	for _, p := range ordered {
+		wantFull := alloc.Fibers[p]
+		cur := f.full[p]
+		for len(cur) > wantFull {
+			c := cur[len(cur)-1]
+			cur = cur[:len(cur)-1]
+			if err := f.teardown(&ch, c); err != nil {
+				return control.Change{}, err
+			}
+		}
+		f.full[p] = cur
+
+		wantRes := alloc.Residual[p]
+		if rc := f.residual[p]; rc != nil && rc.live != wantRes {
+			if err := f.teardown(&ch, rc); err != nil {
+				return control.Change{}, err
+			}
+			delete(f.residual, p)
+		}
+	}
+	for _, p := range ordered {
+		wantFull := alloc.Fibers[p]
+		for len(f.full[p]) < wantFull {
+			c, err := f.establish(&ch, p, f.lambda)
+			if err != nil {
+				return control.Change{}, err
+			}
+			f.full[p] = append(f.full[p], c)
+		}
+		if wantRes := alloc.Residual[p]; wantRes > 0 && f.residual[p] == nil {
+			c, err := f.establish(&ch, p, wantRes)
+			if err != nil {
+				return control.Change{}, err
+			}
+			f.residual[p] = c
+		}
+	}
+	return ch, nil
+}
+
+// Expected returns the controller-intent view of all OSS cross-connects
+// for auditing. (Transceiver expectations depend on device-local tuning
+// history and are audited per change by the controller's report instead.)
+func (f *Fabric) Expected() control.Expected {
+	cross := make(map[string]map[int]int)
+	record := func(node, in, out int) {
+		name := f.OSSName(node)
+		if cross[name] == nil {
+			cross[name] = make(map[int]int)
+		}
+		cross[name][in] = out
+	}
+	nodeByName := make(map[string]int, len(f.ossSize))
+	for n := range f.ossSize {
+		nodeByName[f.OSSName(n)] = n
+	}
+	every := func(c *circuit) {
+		ops, err := f.circuitOps(c, false)
+		if err != nil {
+			return
+		}
+		for _, op := range ops {
+			record(nodeByName[op.Device], op.In, op.Out)
+		}
+	}
+	for _, cs := range f.full {
+		for _, c := range cs {
+			every(c)
+		}
+	}
+	for _, c := range f.residual {
+		every(c)
+	}
+	return control.Expected{Cross: cross}
+}
+
+// CircuitCount returns the number of active circuits (full + residual).
+func (f *Fabric) CircuitCount() int {
+	n := len(f.residual)
+	for _, cs := range f.full {
+		n += len(cs)
+	}
+	return n
+}

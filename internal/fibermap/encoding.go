@@ -1,0 +1,89 @@
+package fibermap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"iris/internal/geo"
+)
+
+// jsonMap is the on-disk region format: a versioned, self-describing JSON
+// document, so planned regions can be exchanged between tools and checked
+// into infrastructure repositories.
+type jsonMap struct {
+	Version int        `json:"version"`
+	Nodes   []jsonNode `json:"nodes"`
+	Ducts   []jsonDuct `json:"ducts"`
+}
+
+type jsonNode struct {
+	Kind string  `json:"kind"` // "dc" or "hut"
+	X    float64 `json:"x_km"`
+	Y    float64 `json:"y_km"`
+	Name string  `json:"name"`
+}
+
+type jsonDuct struct {
+	A       int     `json:"a"`
+	B       int     `json:"b"`
+	FiberKM float64 `json:"fiber_km"`
+}
+
+// formatVersion is the current region-file version.
+const formatVersion = 1
+
+// WriteJSON serialises the map.
+func (m *Map) WriteJSON(w io.Writer) error {
+	doc := jsonMap{Version: formatVersion}
+	for _, n := range m.Nodes {
+		doc.Nodes = append(doc.Nodes, jsonNode{
+			Kind: n.Kind.String(), X: n.Pos.X, Y: n.Pos.Y, Name: n.Name,
+		})
+	}
+	for _, d := range m.Ducts {
+		doc.Ducts = append(doc.Ducts, jsonDuct{A: d.A, B: d.B, FiberKM: d.FiberKM})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a region file and validates the result.
+func ReadJSON(r io.Reader) (*Map, error) {
+	var doc jsonMap
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("fibermap: parse region: %w", err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("fibermap: unsupported region version %d (want %d)", doc.Version, formatVersion)
+	}
+	m := &Map{}
+	for i, n := range doc.Nodes {
+		var kind NodeKind
+		switch n.Kind {
+		case "dc":
+			kind = DC
+		case "hut":
+			kind = Hut
+		default:
+			return nil, fmt.Errorf("fibermap: node %d has unknown kind %q", i, n.Kind)
+		}
+		m.AddNode(kind, geo.Point{X: n.X, Y: n.Y}, n.Name)
+	}
+	for i, d := range doc.Ducts {
+		if d.A < 0 || d.A >= len(m.Nodes) || d.B < 0 || d.B >= len(m.Nodes) || d.A == d.B {
+			return nil, fmt.Errorf("fibermap: duct %d has invalid endpoints (%d,%d)", i, d.A, d.B)
+		}
+		if d.FiberKM <= 0 {
+			return nil, fmt.Errorf("fibermap: duct %d has invalid length %v", i, d.FiberKM)
+		}
+		m.AddDuct(d.A, d.B, d.FiberKM)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

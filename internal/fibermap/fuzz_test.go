@@ -1,0 +1,46 @@
+package fibermap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks that the region decoder never panics and that any
+// accepted document round-trips: run with `go test -fuzz=FuzzReadJSON
+// ./internal/fibermap` to explore beyond the seed corpus.
+func FuzzReadJSON(f *testing.F) {
+	var toy bytes.Buffer
+	if err := Toy().Map.WriteJSON(&toy); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(toy.String())
+	f.Add(`{"version":1,"nodes":[],"ducts":[]}`)
+	f.Add(`{"version":1,"nodes":[{"kind":"hut","x_km":0,"y_km":0,"name":"a"}],"ducts":[]}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`[1,2,3]`)
+	f.Add(strings.Repeat(`{"version":1,`, 50))
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		m, err := ReadJSON(strings.NewReader(doc))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted documents must validate and round-trip.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted map fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		m2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(m2.Nodes) != len(m.Nodes) || len(m2.Ducts) != len(m.Ducts) {
+			t.Fatal("round-trip changed the map")
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package fibermap
+
+import "iris/internal/geo"
+
+// ToyRegion reconstructs the example region of Fig. 10 in the paper: four
+// DCs and two huts in a semi-distributed arrangement where DC1 and DC2
+// attach to hub H1, DC3 and DC4 attach to hub H2, and a central duct L5
+// joins the two hubs. It is the fixture behind the §3.4 cost comparison
+// (electrical ≈2.7× the optical design with f=10 fiber-pairs and λ=40
+// wavelengths per fiber).
+type ToyRegion struct {
+	Map        *Map
+	DC1, DC2   int
+	DC3, DC4   int
+	HubA, HubB int
+	// L1..L4 are the DC access ducts and L5 the central hub-hub duct,
+	// matching the labels in the paper's figure.
+	L1, L2, L3, L4, L5 int
+}
+
+// Toy returns the Fig. 10 example region. Distances are chosen to be
+// DCI-realistic (all DC-DC paths within the 120 km SLA, all single spans
+// within the 80 km unamplified limit).
+func Toy() *ToyRegion {
+	m := &Map{}
+	r := &ToyRegion{Map: m}
+	r.HubA = m.AddNode(Hut, geo.Point{X: -15, Y: 0}, "H1")
+	r.HubB = m.AddNode(Hut, geo.Point{X: 15, Y: 0}, "H2")
+	r.DC1 = m.AddNode(DC, geo.Point{X: -25, Y: 10}, "DC1")
+	r.DC2 = m.AddNode(DC, geo.Point{X: -25, Y: -10}, "DC2")
+	r.DC3 = m.AddNode(DC, geo.Point{X: 25, Y: 10}, "DC3")
+	r.DC4 = m.AddNode(DC, geo.Point{X: 25, Y: -10}, "DC4")
+	r.L1 = m.AddDuct(r.DC1, r.HubA, 18)
+	r.L2 = m.AddDuct(r.DC2, r.HubA, 18)
+	r.L3 = m.AddDuct(r.DC3, r.HubB, 18)
+	r.L4 = m.AddDuct(r.DC4, r.HubB, 18)
+	r.L5 = m.AddDuct(r.HubA, r.HubB, 40)
+	return r
+}

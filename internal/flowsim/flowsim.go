@@ -1,0 +1,245 @@
+// Package flowsim is the flow-level fluid simulator behind §6.3 of the
+// paper: it measures how Iris's circuit reconfigurations — brief capacity
+// reductions while fibers are switched — affect flow completion times,
+// compared to an electrical packet-switched fabric that never reconfigures.
+//
+// Each DC pair is a pipe (a provisioned circuit). Flows arrive on a pipe
+// as a Poisson process with sizes drawn from an empirical workload
+// distribution, and share the pipe capacity by processor sharing (the
+// fluid equivalent of fair queueing). A reconfiguration removes a fraction
+// of a pipe's capacity for its duration; the paper measures 70 ms per
+// fiber switch. Because Iris circuits are dedicated fibers, pipes are
+// independent and are simulated exactly with a per-pipe event loop.
+package flowsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iris/internal/traffic"
+)
+
+// Pipe is one DC-pair circuit.
+type Pipe struct {
+	// CapacityGbps is the provisioned circuit rate.
+	CapacityGbps float64
+	// UtilFrac is the offered load as a fraction of capacity.
+	UtilFrac float64
+}
+
+// Dip is one reconfiguration-induced capacity reduction on a pipe.
+type Dip struct {
+	TimeS     float64 // start time
+	DurationS float64 // the fiber-switch time (70 ms in the testbed)
+	FracLost  float64 // fraction of the pipe capacity drained, in (0,1]
+}
+
+// Config drives one simulation run.
+type Config struct {
+	Seed      int64
+	DurationS float64
+	// WarmupS excludes flows arriving before this time from the results,
+	// letting queues reach steady state first.
+	WarmupS float64
+	Dist    traffic.SizeDist
+	Pipes   []Pipe
+	// Dips maps pipe index to its reconfiguration events. Leave empty for
+	// the EPS baseline.
+	Dips map[int][]Dip
+}
+
+// Flow is one completed flow.
+type Flow struct {
+	Pipe      int
+	SizeBytes float64
+	ArriveS   float64
+	FCTSec    float64
+}
+
+// Result collects a run's completed flows.
+type Result struct {
+	Flows      []Flow
+	Incomplete int // flows still active at the end of the simulation
+}
+
+// FCTs returns the completion times of all flows, or of only the short
+// flows (< traffic.ShortFlowBytes) when shortOnly is set.
+func (r Result) FCTs(shortOnly bool) []float64 {
+	var out []float64
+	for _, f := range r.Flows {
+		if shortOnly && f.SizeBytes >= traffic.ShortFlowBytes {
+			continue
+		}
+		out = append(out, f.FCTSec)
+	}
+	return out
+}
+
+// Run simulates all pipes and returns the pooled completed flows sorted by
+// arrival time.
+func Run(cfg Config) (Result, error) {
+	if cfg.DurationS <= 0 {
+		return Result{}, fmt.Errorf("flowsim: duration must be positive")
+	}
+	if len(cfg.Pipes) == 0 {
+		return Result{}, fmt.Errorf("flowsim: no pipes")
+	}
+	mean := cfg.Dist.Mean()
+	if mean <= 0 || math.IsNaN(mean) {
+		return Result{}, fmt.Errorf("flowsim: workload has invalid mean %v", mean)
+	}
+	var res Result
+	for i, p := range cfg.Pipes {
+		if p.CapacityGbps <= 0 {
+			return Result{}, fmt.Errorf("flowsim: pipe %d has capacity %v", i, p.CapacityGbps)
+		}
+		if p.UtilFrac < 0 || p.UtilFrac >= 1 {
+			return Result{}, fmt.Errorf("flowsim: pipe %d utilization %v outside [0,1)", i, p.UtilFrac)
+		}
+		// Independent but deterministic stream per pipe.
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		flows, inc := simulatePipe(rng, i, p, cfg.Dips[i], cfg.Dist, mean, cfg.DurationS, cfg.WarmupS)
+		res.Flows = append(res.Flows, flows...)
+		res.Incomplete += inc
+	}
+	sort.Slice(res.Flows, func(i, j int) bool {
+		if res.Flows[i].ArriveS != res.Flows[j].ArriveS {
+			return res.Flows[i].ArriveS < res.Flows[j].ArriveS
+		}
+		return res.Flows[i].Pipe < res.Flows[j].Pipe
+	})
+	return res, nil
+}
+
+// activeFlow is a flow in service, keyed by the per-flow credit value at
+// which it completes.
+type activeFlow struct {
+	doneAtCredit float64
+	sizeBytes    float64
+	arriveS      float64
+}
+
+type flowHeap []activeFlow
+
+func (h flowHeap) Len() int           { return len(h) }
+func (h flowHeap) Less(i, j int) bool { return h[i].doneAtCredit < h[j].doneAtCredit }
+func (h flowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *flowHeap) Push(x any)        { *h = append(*h, x.(activeFlow)) }
+func (h *flowHeap) Pop() any          { o := *h; n := len(o); x := o[n-1]; *h = o[:n-1]; return x }
+
+// capChange is a point where the pipe's capacity multiplier changes.
+type capChange struct {
+	timeS float64
+	mult  float64 // multiplier to apply (dip start: 1-frac; dip end: restore)
+}
+
+// simulatePipe runs exact processor sharing with a piecewise-constant
+// capacity using the credit method: credit(t) integrates the per-flow
+// service rate C(t)/N(t); a flow arriving at credit c0 with size s
+// finishes when credit reaches c0+s.
+func simulatePipe(rng *rand.Rand, pipeIdx int, p Pipe, dips []Dip, dist traffic.SizeDist,
+	meanBytes, durationS, warmupS float64) ([]Flow, int) {
+
+	capBytesPerS := p.CapacityGbps * 1e9 / 8
+	lambda := p.UtilFrac * capBytesPerS / meanBytes // flows per second
+
+	// Build the capacity schedule. Overlapping dips stack multiplicatively
+	// and are clipped at zero.
+	var changes []capChange
+	for _, d := range dips {
+		if d.FracLost <= 0 || d.DurationS <= 0 {
+			continue
+		}
+		frac := math.Min(d.FracLost, 1)
+		changes = append(changes, capChange{d.TimeS, 1 - frac})
+		changes = append(changes, capChange{d.TimeS + d.DurationS, -1}) // -1 marks a restore
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].timeS < changes[j].timeS })
+
+	var flows []Flow
+	active := &flowHeap{}
+	credit := 0.0
+	capMult := 1.0
+	var dipStack []float64 // active dip multipliers, for restores
+
+	t := 0.0
+	nextArrival := t
+	if lambda > 0 {
+		nextArrival = rng.ExpFloat64() / lambda
+	} else {
+		nextArrival = math.Inf(1)
+	}
+	changeIdx := 0
+
+	currentCap := func() float64 { return capBytesPerS * capMult }
+
+	for t < durationS {
+		// Next departure under the current rate.
+		nextDeparture := math.Inf(1)
+		if active.Len() > 0 && currentCap() > 0 {
+			perFlow := currentCap() / float64(active.Len())
+			nextDeparture = t + ((*active)[0].doneAtCredit-credit)/perFlow
+		}
+		nextChange := math.Inf(1)
+		if changeIdx < len(changes) {
+			nextChange = changes[changeIdx].timeS
+		}
+		next := math.Min(math.Min(nextArrival, nextChange), math.Min(nextDeparture, durationS))
+
+		// Advance credit over [t, next].
+		if active.Len() > 0 && currentCap() > 0 {
+			credit += currentCap() / float64(active.Len()) * (next - t)
+		}
+		t = next
+		switch {
+		case t == nextDeparture && active.Len() > 0:
+			f := heap.Pop(active).(activeFlow)
+			if f.arriveS >= warmupS {
+				flows = append(flows, Flow{
+					Pipe:      pipeIdx,
+					SizeBytes: f.sizeBytes,
+					ArriveS:   f.arriveS,
+					FCTSec:    t - f.arriveS,
+				})
+			}
+		case t == nextArrival:
+			size := dist.Sample(rng)
+			heap.Push(active, activeFlow{
+				doneAtCredit: credit + size,
+				sizeBytes:    size,
+				arriveS:      t,
+			})
+			nextArrival = t + rng.ExpFloat64()/lambda
+		case t == nextChange:
+			c := changes[changeIdx]
+			changeIdx++
+			if c.mult >= 0 {
+				capMult *= c.mult
+				dipStack = append(dipStack, c.mult)
+			} else if len(dipStack) > 0 {
+				m := dipStack[len(dipStack)-1]
+				dipStack = dipStack[:len(dipStack)-1]
+				if m > 0 {
+					capMult /= m
+				} else {
+					capMult = recomputeMult(dipStack)
+				}
+			}
+			if capMult > 1 { // guard against float drift
+				capMult = 1
+			}
+		}
+	}
+	return flows, active.Len()
+}
+
+func recomputeMult(stack []float64) float64 {
+	m := 1.0
+	for _, v := range stack {
+		m *= v
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+
+	"iris/internal/core"
+	"iris/internal/fibermap"
+	"iris/internal/traffic"
+)
+
+func planToy(t *testing.T) *core.Deployment {
+	t.Helper()
+	r := fibermap.Toy()
+	caps := make(map[int]int)
+	for _, dc := range r.Map.DCs() {
+		caps[dc] = 10
+	}
+	dep, err := core.Plan(core.Region{Map: r.Map, Capacity: caps, Lambda: 40}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestRegionExperimentValidation(t *testing.T) {
+	if _, err := (RegionExperiment{}).Run(); err == nil {
+		t.Error("expected error for nil deployment")
+	}
+	dep := planToy(t)
+	e := DefaultRegionExperiment(dep, 1, 0.4, 0, 0.5, traffic.FBWeb())
+	if _, err := e.Run(); err == nil {
+		t.Error("expected error for zero interval")
+	}
+}
+
+func TestRegionExperimentOnToy(t *testing.T) {
+	dep := planToy(t)
+	e := DefaultRegionExperiment(dep, 7, 0.4, 5, 0.5, traffic.FBWeb())
+	e.DurationS = 30
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IrisFlows < 500 {
+		t.Fatalf("only %d flows", rep.IrisFlows)
+	}
+	// The toy has only 6 pipes — smaller than any paper region — so the
+	// pooled p99 is sensitive to individual circuit teardowns; the bound
+	// here is a smoke check, while the paper-scale ≤2% claim is exercised
+	// by the Fig. 17/18 experiments at region scale.
+	if math.IsNaN(rep.All) || rep.All < 0.95 || rep.All > 1.35 {
+		t.Errorf("slowdown = %v, outside sane band", rep.All)
+	}
+}
+
+func TestRegionExperimentOnPlannedRegion(t *testing.T) {
+	m := fibermap.Generate(fibermap.DefaultGenConfig(8))
+	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(8, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make(map[int]int)
+	for _, dc := range dcs {
+		caps[dc] = 16 // large circuits so demand swaps move whole fibers
+	}
+	dep, err := core.Plan(core.Region{Map: m, Capacity: caps, Lambda: 40}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := DefaultRegionExperiment(dep, 3, 0.7, 5, 0, traffic.WebSearch())
+	e.DurationS = 30
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reconfigs == 0 {
+		t.Error("unbounded change process produced no reconfigurations")
+	}
+	if math.IsNaN(rep.All) {
+		t.Error("NaN slowdown")
+	}
+	if rep.All < 0.95 {
+		t.Errorf("dips made flows faster: %v", rep.All)
+	}
+}

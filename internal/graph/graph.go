@@ -1,0 +1,396 @@
+// Package graph implements the graph algorithms the DCI planner is built
+// on: weighted undirected multigraphs with stable edge identities, Dijkstra
+// shortest paths with deterministic tie-breaking, connectivity queries,
+// Dinic max-flow, and enumeration of edge-failure scenarios.
+//
+// Nodes are dense integer indices 0..N-1; callers keep their own mapping to
+// domain objects (data centers, fiber huts). Edges carry caller-assigned IDs
+// so that a "fiber duct" keeps its identity across derived graphs (e.g.
+// failure scenarios that remove ducts).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected edge with a stable identity.
+type Edge struct {
+	ID   int     // caller-assigned, unique within a Graph
+	U, V int     // endpoints
+	W    float64 // weight (kilometres of fiber, for the planner)
+}
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint, which indicates a programming error.
+func (e Edge) Other(n int) int {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d (%d-%d)", n, e.ID, e.U, e.V))
+}
+
+// Graph is a weighted undirected multigraph. The zero value is an empty
+// graph with no nodes; use New to size it.
+type Graph struct {
+	n     int
+	edges []Edge
+	byID  map[int]int // edge ID -> index in edges
+	adj   [][]int     // node -> indices into edges
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{
+		n:    n,
+		byID: make(map[int]int),
+		adj:  make([][]int, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge. The edge ID must be unique and the
+// weight non-negative; violations panic since they are programming errors.
+func (g *Graph) AddEdge(id, u, v int, w float64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge %d endpoints (%d,%d) out of range [0,%d)", id, u, v, g.n))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: edge %d has invalid weight %v", id, w))
+	}
+	if _, dup := g.byID[id]; dup {
+		panic(fmt.Sprintf("graph: duplicate edge ID %d", id))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, W: w})
+	g.byID[id] = idx
+	g.adj[u] = append(g.adj[u], idx)
+	if v != u {
+		g.adj[v] = append(g.adj[v], idx)
+	}
+}
+
+// Edges returns all edges in insertion order. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeByID returns the edge with the given ID.
+func (g *Graph) EdgeByID(id int) (Edge, bool) {
+	idx, ok := g.byID[id]
+	if !ok {
+		return Edge{}, false
+	}
+	return g.edges[idx], true
+}
+
+// Neighbors calls fn for every edge incident to node n.
+func (g *Graph) Neighbors(n int, fn func(Edge)) {
+	for _, idx := range g.adj[n] {
+		fn(g.edges[idx])
+	}
+}
+
+// WithoutEdges returns a copy of g with the edges whose IDs appear in the
+// set removed. It is how failure scenarios are materialised.
+func (g *Graph) WithoutEdges(removed map[int]bool) *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		if !removed[e.ID] {
+			h.AddEdge(e.ID, e.U, e.V, e.W)
+		}
+	}
+	return h
+}
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// ShortestPathTree is the result of a single-source Dijkstra run.
+type ShortestPathTree struct {
+	Source int
+	Dist   []float64 // Dist[v] = distance from Source, Inf if unreachable
+	Hops   []int     // number of edges on the chosen path
+	// prevEdge[v] is the index (into g.edges) of the edge used to reach v,
+	// or -1 for the source / unreachable nodes.
+	prevEdge []int
+	g        *Graph
+}
+
+// Dijkstra computes single-source shortest paths. Ties on distance are
+// broken first by hop count, then by the smaller predecessor node, then by
+// the smaller edge ID, so that path selection is fully deterministic and
+// independent of heap ordering.
+func (g *Graph) Dijkstra(source int) *ShortestPathTree {
+	t := &ShortestPathTree{
+		Source:   source,
+		Dist:     make([]float64, g.n),
+		Hops:     make([]int, g.n),
+		prevEdge: make([]int, g.n),
+		g:        g,
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.Hops[i] = math.MaxInt
+		t.prevEdge[i] = -1
+	}
+	t.Dist[source] = 0
+	t.Hops[source] = 0
+
+	pq := &distHeap{{node: source, dist: 0, hops: 0}}
+	done := make([]bool, g.n)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, idx := range g.adj[u] {
+			e := g.edges[idx]
+			v := e.Other(u)
+			if done[v] {
+				continue
+			}
+			nd := t.Dist[u] + e.W
+			nh := t.Hops[u] + 1
+			if better(nd, nh, u, e.ID, t.Dist[v], t.Hops[v], t.prev(v), t.prevID(v)) {
+				t.Dist[v] = nd
+				t.Hops[v] = nh
+				t.prevEdge[v] = idx
+				heap.Push(pq, distItem{node: v, dist: nd, hops: nh})
+			}
+		}
+	}
+	return t
+}
+
+func (t *ShortestPathTree) prev(v int) int {
+	if t.prevEdge[v] < 0 {
+		return -1
+	}
+	return t.g.edges[t.prevEdge[v]].Other(v)
+}
+
+func (t *ShortestPathTree) prevID(v int) int {
+	if t.prevEdge[v] < 0 {
+		return -1
+	}
+	return t.g.edges[t.prevEdge[v]].ID
+}
+
+// better reports whether the candidate (dist, hops, prevNode, edgeID) is a
+// strictly better label than the incumbent under the deterministic order.
+func better(d float64, h, pn, eid int, od float64, oh, opn, oeid int) bool {
+	const eps = 1e-9
+	switch {
+	case d < od-eps:
+		return true
+	case d > od+eps:
+		return false
+	case h != oh:
+		return h < oh
+	case pn != opn:
+		return pn < opn
+	default:
+		return eid < oeid
+	}
+}
+
+// PathTo returns the node sequence and edge sequence of the shortest path
+// from the tree source to v. It returns ok=false if v is unreachable.
+func (t *ShortestPathTree) PathTo(v int) (nodes []int, edges []Edge, ok bool) {
+	if math.IsInf(t.Dist[v], 1) {
+		return nil, nil, false
+	}
+	for v != t.Source {
+		idx := t.prevEdge[v]
+		e := t.g.edges[idx]
+		edges = append(edges, e)
+		nodes = append(nodes, v)
+		v = e.Other(v)
+	}
+	nodes = append(nodes, t.Source)
+	reverseInts(nodes)
+	reverseEdges(edges)
+	return nodes, edges, true
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseEdges(s []Edge) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+type distItem struct {
+	node int
+	dist float64
+	hops int
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].hops != h[j].hops {
+		return h[i].hops < h[j].hops
+	}
+	return h[i].node < h[j].node
+}
+func (h distHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)   { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// BellmanFord computes single-source shortest path distances in O(V·E).
+// It exists as a cross-checking oracle for Dijkstra in tests and accepts the
+// same non-negative weights.
+func (g *Graph) BellmanFord(source int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	for i := 0; i < g.n-1; i++ {
+		changed := false
+		for _, e := range g.edges {
+			if dist[e.U]+e.W < dist[e.V] {
+				dist[e.V] = dist[e.U] + e.W
+				changed = true
+			}
+			if dist[e.V]+e.W < dist[e.U] {
+				dist[e.U] = dist[e.V] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// Connected reports whether u and v are in the same component.
+func (g *Graph) Connected(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range g.adj[n] {
+			m := g.edges[idx].Other(n)
+			if m == v {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// Components returns the component label of every node; labels are dense
+// from 0 and assigned in order of the smallest node in each component.
+func (g *Graph) Components() []int {
+	label := make([]int, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	for s := 0; s < g.n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = next
+		stack := []int{s}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, idx := range g.adj[n] {
+				m := g.edges[idx].Other(n)
+				if label[m] < 0 {
+					label[m] = next
+					stack = append(stack, m)
+				}
+			}
+		}
+		next++
+	}
+	return label
+}
+
+// FailureScenarios enumerates all subsets of the given edge IDs of size 0
+// through maxCuts inclusive and calls fn with each subset (as a set). The
+// subset map is reused across calls; fn must not retain it. Enumeration
+// order is deterministic: by subset size, then lexicographically by
+// position in ids.
+func FailureScenarios(ids []int, maxCuts int, fn func(cut map[int]bool)) {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	cut := make(map[int]bool, maxCuts)
+	fn(cut) // the no-failure scenario
+
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(sorted); i++ {
+			cut[sorted[i]] = true
+			fn(cut)
+			rec(i+1, remaining-1)
+			delete(cut, sorted[i])
+		}
+	}
+	if maxCuts > 0 {
+		rec(0, maxCuts)
+	}
+}
+
+// CountFailureScenarios returns the number of scenarios FailureScenarios
+// will produce for m edges and the given cut tolerance: sum_{k=0..maxCuts}
+// C(m,k).
+func CountFailureScenarios(m, maxCuts int) int {
+	total := 0
+	for k := 0; k <= maxCuts && k <= m; k++ {
+		total += binomial(m, k)
+	}
+	return total
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

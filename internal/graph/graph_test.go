@@ -1,0 +1,292 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0, 1, 5)
+	for name, fn := range map[string]func(){
+		"out of range":     func() { g.AddEdge(1, 0, 3, 1) },
+		"negative weight":  func() { g.AddEdge(1, 0, 1, -1) },
+		"NaN weight":       func() { g.AddEdge(1, 0, 1, math.NaN()) },
+		"duplicate edgeID": func() { g.AddEdge(0, 1, 2, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{ID: 7, U: 2, V: 5}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-endpoint")
+		}
+	}()
+	e.Other(3)
+}
+
+func TestEdgeByID(t *testing.T) {
+	g := New(3)
+	g.AddEdge(10, 0, 1, 2)
+	g.AddEdge(20, 1, 2, 3)
+	e, ok := g.EdgeByID(20)
+	if !ok || e.U != 1 || e.V != 2 || e.W != 3 {
+		t.Fatalf("EdgeByID(20) = %+v, %v", e, ok)
+	}
+	if _, ok := g.EdgeByID(99); ok {
+		t.Fatal("EdgeByID(99) should not exist")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 0, 1, 1)
+	g.AddEdge(1, 0, 2, 1)
+	g.AddEdge(2, 1, 2, 1)
+	var ids []int
+	g.Neighbors(0, func(e Edge) { ids = append(ids, e.ID) })
+	if !reflect.DeepEqual(ids, []int{0, 1}) {
+		t.Fatalf("Neighbors(0) edge IDs = %v", ids)
+	}
+}
+
+// lineGraph returns 0-1-2-...-n-1 with unit weights and edge IDs = left node.
+func lineGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i, i+1, 1)
+	}
+	return g
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(5)
+	tr := g.Dijkstra(0)
+	for v := 0; v < 5; v++ {
+		if tr.Dist[v] != float64(v) {
+			t.Errorf("Dist[%d] = %v, want %d", v, tr.Dist[v], v)
+		}
+	}
+	nodes, edges, ok := tr.PathTo(4)
+	if !ok {
+		t.Fatal("PathTo(4) not ok")
+	}
+	if !reflect.DeepEqual(nodes, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("nodes = %v", nodes)
+	}
+	if len(edges) != 4 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0, 1, 1)
+	tr := g.Dijkstra(0)
+	if !math.IsInf(tr.Dist[2], 1) {
+		t.Errorf("Dist[2] = %v, want +Inf", tr.Dist[2])
+	}
+	if _, _, ok := tr.PathTo(2); ok {
+		t.Error("PathTo(2) should report unreachable")
+	}
+}
+
+func TestDijkstraPrefersFewerHopsOnTies(t *testing.T) {
+	// Two paths 0→3 of equal length 2: direct edge (1 hop) and via node 1
+	// (2 hops). The deterministic tie-break must choose the direct edge.
+	g := New(4)
+	g.AddEdge(0, 0, 1, 1)
+	g.AddEdge(1, 1, 3, 1)
+	g.AddEdge(2, 0, 3, 2)
+	tr := g.Dijkstra(0)
+	nodes, _, _ := tr.PathTo(3)
+	if !reflect.DeepEqual(nodes, []int{0, 3}) {
+		t.Errorf("path = %v, want direct [0 3]", nodes)
+	}
+	if tr.Hops[3] != 1 {
+		t.Errorf("Hops[3] = %d, want 1", tr.Hops[3])
+	}
+}
+
+func TestDijkstraDeterministicAcrossInsertionOrders(t *testing.T) {
+	// Same graph, edges inserted in different orders, must give identical
+	// paths (tie-break is on IDs and node numbers, not insertion order).
+	build := func(order []int) *Graph {
+		g := New(4)
+		type spec struct{ id, u, v int }
+		specs := []spec{{0, 0, 1}, {1, 0, 2}, {2, 1, 3}, {3, 2, 3}}
+		for _, i := range order {
+			s := specs[i]
+			g.AddEdge(s.id, s.u, s.v, 1)
+		}
+		return g
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 2, 1, 0})
+	pa, _, _ := a.Dijkstra(0).PathTo(3)
+	pb, _, _ := b.Dijkstra(0).PathTo(3)
+	if !reflect.DeepEqual(pa, pb) {
+		t.Errorf("paths differ across insertion orders: %v vs %v", pa, pb)
+	}
+	// And the canonical choice is via node 1 (smaller predecessor).
+	if !reflect.DeepEqual(pa, []int{0, 1, 3}) {
+		t.Errorf("canonical path = %v, want [0 1 3]", pa)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.AddEdge(i, u, v, 1+rng.Float64()*99)
+	}
+	return g
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		m := rng.Intn(3 * n)
+		g := randomGraph(rng, n, m)
+		src := rng.Intn(n)
+		d1 := g.Dijkstra(src).Dist
+		d2 := g.BellmanFord(src)
+		for v := range d1 {
+			a, b := d1[v], d2[v]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("trial %d: reachability mismatch at node %d: %v vs %v", trial, v, a, b)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-6 {
+				t.Fatalf("trial %d: distance mismatch at node %d: %v vs %v", trial, v, a, b)
+			}
+		}
+	}
+}
+
+func TestPathDistancesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		g := randomGraph(rng, 10, 20)
+		tr := g.Dijkstra(0)
+		for v := 0; v < 10; v++ {
+			nodes, edges, ok := tr.PathTo(v)
+			if !ok {
+				continue
+			}
+			var sum float64
+			for _, e := range edges {
+				sum += e.W
+			}
+			if math.Abs(sum-tr.Dist[v]) > 1e-9 {
+				t.Fatalf("path weight %v != Dist %v", sum, tr.Dist[v])
+			}
+			if len(nodes) != len(edges)+1 {
+				t.Fatalf("nodes/edges length mismatch: %d vs %d", len(nodes), len(edges))
+			}
+			if nodes[0] != 0 || nodes[len(nodes)-1] != v {
+				t.Fatalf("path endpoints wrong: %v", nodes)
+			}
+		}
+	}
+}
+
+func TestWithoutEdges(t *testing.T) {
+	g := lineGraph(4)
+	h := g.WithoutEdges(map[int]bool{1: true})
+	if h.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", h.NumEdges())
+	}
+	if h.Connected(0, 3) {
+		t.Error("0 and 3 should be disconnected after removing edge 1")
+	}
+	if !h.Connected(0, 1) || !h.Connected(2, 3) {
+		t.Error("remaining segments should stay connected")
+	}
+	// Original graph untouched.
+	if g.NumEdges() != 3 || !g.Connected(0, 3) {
+		t.Error("WithoutEdges mutated the original graph")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 0, 1, 1)
+	g.AddEdge(1, 2, 3, 1)
+	labels := g.Components()
+	want := []int{0, 0, 1, 1, 2}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("Components = %v, want %v", labels, want)
+	}
+}
+
+func TestFailureScenarios(t *testing.T) {
+	ids := []int{3, 1, 2}
+	var got [][]int
+	FailureScenarios(ids, 2, func(cut map[int]bool) {
+		var s []int
+		for _, id := range []int{1, 2, 3} {
+			if cut[id] {
+				s = append(s, id)
+			}
+		}
+		got = append(got, s)
+	})
+	want := [][]int{
+		nil,
+		{1}, {1, 2}, {1, 3},
+		{2}, {2, 3},
+		{3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scenarios = %v, want %v", got, want)
+	}
+	if n := CountFailureScenarios(3, 2); n != len(want) {
+		t.Errorf("CountFailureScenarios(3,2) = %d, want %d", n, len(want))
+	}
+}
+
+func TestCountFailureScenarios(t *testing.T) {
+	tests := []struct{ m, k, want int }{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 1, 6},
+		{5, 2, 16},
+		{10, 2, 56},
+		{3, 5, 8}, // tolerance larger than edge count: all subsets
+	}
+	for _, tt := range tests {
+		if got := CountFailureScenarios(tt.m, tt.k); got != tt.want {
+			t.Errorf("CountFailureScenarios(%d,%d) = %d, want %d", tt.m, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestFailureScenariosMatchesCount(t *testing.T) {
+	ids := []int{10, 20, 30, 40, 50, 60}
+	for k := 0; k <= 3; k++ {
+		n := 0
+		FailureScenarios(ids, k, func(map[int]bool) { n++ })
+		if want := CountFailureScenarios(len(ids), k); n != want {
+			t.Errorf("k=%d: enumerated %d scenarios, want %d", k, n, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic diamond: s=0, t=3.
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 3)
+	f.AddArc(0, 2, 2)
+	f.AddArc(1, 3, 2)
+	f.AddArc(2, 3, 3)
+	f.AddArc(1, 2, 1)
+	if got := f.MaxFlow(0, 3); got != 5 {
+		t.Errorf("MaxFlow = %v, want 5", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 10)
+	if got := f.MaxFlow(0, 3); got != 0 {
+		t.Errorf("MaxFlow = %v, want 0", got)
+	}
+}
+
+func TestMaxFlowSourceIsSink(t *testing.T) {
+	f := NewFlowNetwork(2)
+	f.AddArc(0, 1, 10)
+	if got := f.MaxFlow(0, 0); got != 0 {
+		t.Errorf("MaxFlow(s,s) = %v, want 0", got)
+	}
+}
+
+func TestMaxFlowInfiniteArc(t *testing.T) {
+	f := NewFlowNetwork(3)
+	f.AddArc(0, 1, math.Inf(1))
+	f.AddArc(1, 2, 7)
+	if got := f.MaxFlow(0, 2); got != 7 {
+		t.Errorf("MaxFlow = %v, want 7", got)
+	}
+}
+
+func TestFlowPerArc(t *testing.T) {
+	f := NewFlowNetwork(3)
+	a := f.AddArc(0, 1, 4)
+	b := f.AddArc(0, 1, 3)
+	c := f.AddArc(1, 2, 5)
+	total := f.MaxFlow(0, 2)
+	if total != 5 {
+		t.Fatalf("MaxFlow = %v, want 5", total)
+	}
+	if got := f.Flow(a) + f.Flow(b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("flow into node 1 = %v, want 5", got)
+	}
+	if got := f.Flow(c); math.Abs(got-5) > 1e-9 {
+		t.Errorf("flow on bottleneck = %v, want 5", got)
+	}
+}
+
+func TestAddArcValidation(t *testing.T) {
+	f := NewFlowNetwork(2)
+	for name, fn := range map[string]func(){
+		"node out of range": func() { f.AddArc(0, 2, 1) },
+		"negative capacity": func() { f.AddArc(0, 1, -1) },
+		"NaN capacity":      func() { f.AddArc(0, 1, math.NaN()) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// bruteMinCut computes the minimum s-t cut by enumerating all node subsets.
+// Usable only for small n; serves as the max-flow = min-cut oracle.
+func bruteMinCut(n int, arcs [][3]float64, s, t int) float64 {
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		var cut float64
+		for _, a := range arcs {
+			u, v, c := int(a[0]), int(a[1]), a[2]
+			if mask&(1<<u) != 0 && mask&(1<<v) == 0 {
+				cut += c
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func TestMaxFlowEqualsMinCutRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(6)
+		m := rng.Intn(2 * n * n)
+		arcs := make([][3]float64, 0, m)
+		f := NewFlowNetwork(n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(rng.Intn(10))
+			arcs = append(arcs, [3]float64{float64(u), float64(v), c})
+			f.AddArc(u, v, c)
+		}
+		s, tt := 0, n-1
+		flow := f.MaxFlow(s, tt)
+		cut := bruteMinCut(n, arcs, s, tt)
+		if math.Abs(flow-cut) > 1e-6 {
+			t.Fatalf("trial %d: maxflow %v != mincut %v (n=%d, arcs=%v)", trial, flow, cut, n, arcs)
+		}
+	}
+}
+
+func TestMinCutReachable(t *testing.T) {
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 1) // bottleneck
+	f.AddArc(2, 3, 10)
+	f.MaxFlow(0, 3)
+	seen := f.MinCutReachable(0)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("reachable[%d] = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestMaxFlowConservation(t *testing.T) {
+	// On random networks, verify conservation at internal nodes by
+	// recomputing per-arc flows.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(8)
+		f := NewFlowNetwork(n)
+		type arcRec struct {
+			idx, u, v int
+		}
+		var recs []arcRec
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			idx := f.AddArc(u, v, float64(rng.Intn(20)))
+			recs = append(recs, arcRec{idx, u, v})
+		}
+		total := f.MaxFlow(0, n-1)
+		net := make([]float64, n)
+		for _, r := range recs {
+			fl := f.Flow(r.idx)
+			if fl < -1e-9 {
+				t.Fatalf("negative flow %v", fl)
+			}
+			net[r.u] -= fl
+			net[r.v] += fl
+		}
+		for v := 1; v < n-1; v++ {
+			if math.Abs(net[v]) > 1e-6 {
+				t.Fatalf("trial %d: conservation violated at node %d: %v", trial, v, net[v])
+			}
+		}
+		if math.Abs(net[n-1]-total) > 1e-6 || math.Abs(net[0]+total) > 1e-6 {
+			t.Fatalf("trial %d: endpoint imbalance: src %v sink %v total %v", trial, net[0], net[n-1], total)
+		}
+	}
+}

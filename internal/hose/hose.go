@@ -1,0 +1,122 @@
+// Package hose computes worst-case link loads under the hose traffic model
+// (Duffield et al.), as required by the planner's capacity-provisioning
+// step (§4.1 of the paper, adapting Juttner et al.).
+//
+// Under the hose model each DC v may send/receive up to its capacity C_v in
+// aggregate, and the network must support every traffic matrix consistent
+// with those bounds. With single (shortest) path routing, the worst-case
+// load on a link is
+//
+//	max  Σ_p d_p   subject to   Σ_{p incident to v} d_p ≤ C_v  for all v,
+//
+// taken over the set of DC pairs p whose path crosses the link. This is a
+// maximum fractional b-matching, which this package solves exactly as half
+// the max-flow on the bipartite double cover of the pair graph.
+package hose
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/graph"
+)
+
+// Pair is an unordered pair of DCs whose shortest path crosses the link
+// under consideration.
+type Pair struct {
+	A, B int
+}
+
+// Canonical returns the pair with A ≤ B.
+func (p Pair) Canonical() Pair {
+	if p.A > p.B {
+		return Pair{A: p.B, B: p.A}
+	}
+	return p
+}
+
+// WorstCaseLoad returns the worst-case hose-model load contributed by the
+// given DC pairs, where caps maps DC id to its hose capacity (in the same
+// units the result is produced in, e.g. fibers). Duplicate pairs are
+// coalesced; a pair whose endpoints coincide panics, since no DC sends
+// regional traffic to itself.
+//
+// The naive bound Σ_p min(C_A, C_B) over-provisions whenever one DC appears
+// in several pairs (§4.1); this function computes the exact optimum.
+func WorstCaseLoad(caps map[int]float64, pairs []Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	seen := make(map[Pair]bool, len(pairs))
+	var uniq []Pair
+	for _, p := range pairs {
+		if p.A == p.B {
+			panic(fmt.Sprintf("hose: degenerate pair (%d,%d)", p.A, p.B))
+		}
+		c := p.Canonical()
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+
+	// Dense-index the DCs that appear in pairs, deterministically.
+	idSet := make(map[int]bool)
+	for _, p := range uniq {
+		idSet[p.A] = true
+		idSet[p.B] = true
+	}
+	ids := make([]int, 0, len(idSet))
+	for id := range idSet {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	index := make(map[int]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+
+	// Bipartite double cover: nodes are s, t, then left and right copies of
+	// each DC. Every pair (a,b) contributes aL→bR and bL→aR; the value of
+	// the maximum fractional b-matching is half the s-t max flow.
+	n := len(ids)
+	f := graph.NewFlowNetwork(2 + 2*n)
+	s, t := 0, 1
+	left := func(i int) int { return 2 + i }
+	right := func(i int) int { return 2 + n + i }
+	for i, id := range ids {
+		c, ok := caps[id]
+		if !ok {
+			panic(fmt.Sprintf("hose: no capacity for DC %d", id))
+		}
+		if c < 0 || math.IsNaN(c) {
+			panic(fmt.Sprintf("hose: invalid capacity %v for DC %d", c, id))
+		}
+		f.AddArc(s, left(i), c)
+		f.AddArc(right(i), t, c)
+	}
+	for _, p := range uniq {
+		a, b := index[p.A], index[p.B]
+		f.AddArc(left(a), right(b), math.Inf(1))
+		f.AddArc(left(b), right(a), math.Inf(1))
+	}
+	return f.MaxFlow(s, t) / 2
+}
+
+// NaiveLoad returns the per-pair sum Σ min(C_A, C_B), the over-provisioned
+// bound a naive planner would use (§4.1). It exists for comparison in the
+// evaluation and as an upper bound in tests.
+func NaiveLoad(caps map[int]float64, pairs []Pair) float64 {
+	seen := make(map[Pair]bool, len(pairs))
+	var total float64
+	for _, p := range pairs {
+		c := p.Canonical()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		total += math.Min(caps[p.A], caps[p.B])
+	}
+	return total
+}

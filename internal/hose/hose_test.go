@@ -1,0 +1,202 @@
+package hose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSinglePair(t *testing.T) {
+	caps := map[int]float64{1: 5, 2: 3}
+	if got := WorstCaseLoad(caps, []Pair{{1, 2}}); got != 3 {
+		t.Errorf("WorstCaseLoad = %v, want min(5,3)=3", got)
+	}
+}
+
+func TestSharedEndpointAvoidsDoubleCounting(t *testing.T) {
+	// The §4.1 example: DC A appears in pairs A-B and A-C. A naive sum
+	// counts A's capacity twice; the exact load is min(C_A, C_B + C_C).
+	caps := map[int]float64{0: 4, 1: 10, 2: 10}
+	pairs := []Pair{{0, 1}, {0, 2}}
+	if got := WorstCaseLoad(caps, pairs); got != 4 {
+		t.Errorf("WorstCaseLoad = %v, want 4 (A's hose cap)", got)
+	}
+	if naive := NaiveLoad(caps, pairs); naive != 8 {
+		t.Errorf("NaiveLoad = %v, want 8 (double-counted)", naive)
+	}
+}
+
+func TestBottleneckOnFarSide(t *testing.T) {
+	caps := map[int]float64{0: 100, 1: 2, 2: 3}
+	pairs := []Pair{{0, 1}, {0, 2}}
+	if got := WorstCaseLoad(caps, pairs); got != 5 {
+		t.Errorf("WorstCaseLoad = %v, want 2+3=5", got)
+	}
+}
+
+func TestTriangleIsFractional(t *testing.T) {
+	// Pairs forming a triangle with unit capacities: the optimal fractional
+	// b-matching puts 1/2 on each pair for a total of 3/2. An integral
+	// matcher would only achieve 1.
+	caps := map[int]float64{0: 1, 1: 1, 2: 1}
+	pairs := []Pair{{0, 1}, {1, 2}, {0, 2}}
+	if got := WorstCaseLoad(caps, pairs); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("WorstCaseLoad = %v, want 1.5", got)
+	}
+}
+
+func TestDuplicatesCoalesced(t *testing.T) {
+	caps := map[int]float64{1: 5, 2: 3}
+	pairs := []Pair{{1, 2}, {2, 1}, {1, 2}}
+	if got := WorstCaseLoad(caps, pairs); got != 3 {
+		t.Errorf("WorstCaseLoad = %v, want 3", got)
+	}
+	if naive := NaiveLoad(caps, pairs); naive != 3 {
+		t.Errorf("NaiveLoad = %v, want 3", naive)
+	}
+}
+
+func TestEmptyPairs(t *testing.T) {
+	if got := WorstCaseLoad(map[int]float64{}, nil); got != 0 {
+		t.Errorf("WorstCaseLoad(empty) = %v", got)
+	}
+}
+
+func TestDegeneratePairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WorstCaseLoad(map[int]float64{1: 1}, []Pair{{1, 1}})
+}
+
+func TestMissingCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WorstCaseLoad(map[int]float64{1: 1}, []Pair{{1, 2}})
+}
+
+func TestZeroCapacityDC(t *testing.T) {
+	caps := map[int]float64{0: 0, 1: 7, 2: 7}
+	pairs := []Pair{{0, 1}, {1, 2}}
+	if got := WorstCaseLoad(caps, pairs); got != 7 {
+		t.Errorf("WorstCaseLoad = %v, want 7", got)
+	}
+}
+
+// bruteForce maximises Σ d_p by enumerating demands in steps of 0.5, valid
+// because the fractional b-matching LP with integer capacities has a
+// half-integral optimum.
+func bruteForce(caps map[int]float64, pairs []Pair) float64 {
+	var best float64
+	var rec func(i int, demands []float64)
+	feasible := func(demands []float64) bool {
+		use := make(map[int]float64)
+		for i, p := range pairs {
+			use[p.A] += demands[i]
+			use[p.B] += demands[i]
+		}
+		for v, u := range use {
+			if u > caps[v]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(i int, demands []float64) {
+		if i == len(pairs) {
+			if feasible(demands) {
+				var sum float64
+				for _, d := range demands {
+					sum += d
+				}
+				if sum > best {
+					best = sum
+				}
+			}
+			return
+		}
+		maxD := math.Min(caps[pairs[i].A], caps[pairs[i].B])
+		for d := 0.0; d <= maxD+1e-9; d += 0.5 {
+			demands[i] = d
+			rec(i+1, demands)
+		}
+		demands[i] = 0
+	}
+	rec(0, make([]float64, len(pairs)))
+	return best
+}
+
+func TestMatchesBruteForceOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		nDCs := 2 + rng.Intn(4)
+		caps := make(map[int]float64)
+		for v := 0; v < nDCs; v++ {
+			caps[v] = float64(rng.Intn(4)) // 0..3, integer => half-integral LP
+		}
+		var pairs []Pair
+		seen := map[Pair]bool{}
+		nPairs := 1 + rng.Intn(4)
+		for len(pairs) < nPairs {
+			a, b := rng.Intn(nDCs), rng.Intn(nDCs)
+			if a == b {
+				continue
+			}
+			p := (Pair{a, b}).Canonical()
+			if seen[p] {
+				break
+			}
+			seen[p] = true
+			pairs = append(pairs, p)
+		}
+		got := WorstCaseLoad(caps, pairs)
+		want := bruteForce(caps, pairs)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: got %v, brute force %v (caps=%v pairs=%v)",
+				trial, got, want, caps, pairs)
+		}
+	}
+}
+
+func TestBoundsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		nDCs := 2 + rng.Intn(8)
+		caps := make(map[int]float64)
+		var capSum float64
+		for v := 0; v < nDCs; v++ {
+			caps[v] = rng.Float64() * 20
+			capSum += caps[v]
+		}
+		var pairs []Pair
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			a, b := rng.Intn(nDCs), rng.Intn(nDCs)
+			if a != b {
+				pairs = append(pairs, Pair{a, b})
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		got := WorstCaseLoad(caps, pairs)
+		naive := NaiveLoad(caps, pairs)
+		if got > naive+1e-9 {
+			t.Fatalf("trial %d: load %v exceeds naive bound %v", trial, got, naive)
+		}
+		if got > capSum/2+1e-9 {
+			t.Fatalf("trial %d: load %v exceeds half total capacity %v", trial, got, capSum/2)
+		}
+		// Lower bound: any single pair's min-capacity is achievable.
+		for _, p := range pairs {
+			lower := math.Min(caps[p.A], caps[p.B])
+			if got < lower-1e-9 {
+				t.Fatalf("trial %d: load %v below single-pair bound %v", trial, got, lower)
+			}
+		}
+	}
+}

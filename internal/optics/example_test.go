@@ -1,0 +1,38 @@
+package optics_test
+
+import (
+	"fmt"
+
+	"iris/internal/optics"
+)
+
+// ExampleEvaluate checks the paper's worst-case path — 120 km split 60+60
+// with one inline amplifier — against the TC1–TC4 constraints.
+func ExampleEvaluate() {
+	ev := optics.Evaluate([]optics.Element{
+		{Kind: optics.Amp}, {Kind: optics.OSS},
+		{Kind: optics.Span, LengthKM: 60},
+		{Kind: optics.OSS}, {Kind: optics.Amp}, // loopback amp at a hut
+		{Kind: optics.Span, LengthKM: 60},
+		{Kind: optics.OSS}, {Kind: optics.Amp},
+	})
+	fmt.Printf("feasible: %v\n", ev.Feasible())
+	fmt.Printf("amps: %d (penalty %.2f dB)\n", ev.Amps, ev.OSNRPenaltyDB)
+	fmt.Printf("pre-FEC BER below threshold: %v\n", ev.PreFECBER < optics.SoftFECBERThreshold)
+	// Output:
+	// feasible: true
+	// amps: 3 (penalty 9.25 dB)
+	// pre-FEC BER below threshold: true
+}
+
+// ExampleOSNRPenaltyDB reproduces the Fig. 9 measurement points.
+func ExampleOSNRPenaltyDB() {
+	for _, n := range []int{1, 2, 4, 8} {
+		fmt.Printf("%d amps: %.1f dB\n", n, optics.OSNRPenaltyDB(n))
+	}
+	// Output:
+	// 1 amps: 4.5 dB
+	// 2 amps: 7.5 dB
+	// 4 amps: 10.5 dB
+	// 8 amps: 13.5 dB
+}

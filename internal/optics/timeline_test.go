@@ -1,0 +1,129 @@
+package optics
+
+import (
+	"testing"
+)
+
+func TestTestbedPathsFeasible(t *testing.T) {
+	a, b := TestbedPaths()
+	if ev := Evaluate(a); !ev.Feasible() {
+		t.Errorf("path A infeasible: %v", ev.Violations)
+	}
+	if ev := Evaluate(b); !ev.Feasible() {
+		t.Errorf("path B infeasible: %v", ev.Violations)
+	}
+	// Path A carries the 120 km combination and uses the hut amplifier.
+	evA := Evaluate(a)
+	if evA.TotalKM != 120 || evA.Amps != 3 {
+		t.Errorf("path A: %.0f km, %d amps; want 120 km, 3 amps", evA.TotalKM, evA.Amps)
+	}
+	evB := Evaluate(b)
+	if evB.TotalKM != 30 || evB.Amps != 2 {
+		t.Errorf("path B: %.0f km, %d amps; want 30 km, 2 amps", evB.TotalKM, evB.Amps)
+	}
+}
+
+func TestReconfigExperimentFig14(t *testing.T) {
+	a, b := TestbedPaths()
+	exp := ReconfigExperiment{
+		Seed:      1,
+		DurationS: 300, // five minutes, reconfiguring every minute
+		IntervalS: 60,
+		SampleMS:  10,
+		PathA:     a,
+		PathB:     b,
+	}
+	samples, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 30000 {
+		t.Fatalf("got %d samples, want 30000", len(samples))
+	}
+	// Fig. 14's headline: pre-FEC BER stays below the soft-FEC threshold
+	// throughout, including right after reconfigurations.
+	if maxBER := MaxBER(samples); maxBER >= SoftFECBERThreshold {
+		t.Errorf("max BER %v not below FEC threshold %v", maxBER, SoftFECBERThreshold)
+	}
+	// Four reconfigurations, each blinding the receiver for 50 ms.
+	outage := OutageMS(samples)
+	if outage < 150 || outage > 250 {
+		t.Errorf("total outage = %v ms, want ≈ 4×50 ms", outage)
+	}
+	// Signal recovers within the measured recovery time of each switch.
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].Signal && samples[i-1].Signal {
+			// A switch began; it must end within recovery+1 sample.
+			deadline := samples[i].TimeS + (ReconfigRecoveryMS+10)/1000
+			recovered := false
+			for j := i; j < len(samples) && samples[j].TimeS <= deadline; j++ {
+				if samples[j].Signal {
+					recovered = true
+					break
+				}
+			}
+			if !recovered {
+				t.Fatalf("signal not recovered within %v ms after t=%v",
+					ReconfigRecoveryMS, samples[i].TimeS)
+			}
+		}
+	}
+}
+
+func TestReconfigExperimentCustomRecovery(t *testing.T) {
+	a, b := TestbedPaths()
+	exp := ReconfigExperiment{
+		Seed: 2, DurationS: 10, IntervalS: 2, SampleMS: 10,
+		PathA: a, PathB: b, RecoveryMS: 70, // the two-hut measurement
+	}
+	samples, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outage := OutageMS(samples)
+	if outage < 4*70-40 || outage > 4*70+40 {
+		t.Errorf("outage = %v ms, want ≈ 4×70 ms", outage)
+	}
+}
+
+func TestReconfigExperimentRejectsInfeasiblePath(t *testing.T) {
+	bad := []Element{{Kind: Amp}, {Kind: Span, LengthKM: 200}, {Kind: Amp}}
+	_, good := TestbedPaths()
+	if _, err := (ReconfigExperiment{Seed: 1, DurationS: 1, IntervalS: 1, SampleMS: 10, PathA: bad, PathB: good}).Run(); err == nil {
+		t.Error("expected error for infeasible path A")
+	}
+	if _, err := (ReconfigExperiment{Seed: 1, DurationS: 1, IntervalS: 1, SampleMS: 10, PathA: good, PathB: bad}).Run(); err == nil {
+		t.Error("expected error for infeasible path B")
+	}
+}
+
+func TestReconfigExperimentRejectsBadDurations(t *testing.T) {
+	a, b := TestbedPaths()
+	if _, err := (ReconfigExperiment{Seed: 1, IntervalS: 1, SampleMS: 10, PathA: a, PathB: b}).Run(); err == nil {
+		t.Error("expected error for zero duration")
+	}
+}
+
+func TestReconfigDeterministic(t *testing.T) {
+	a, b := TestbedPaths()
+	exp := ReconfigExperiment{Seed: 9, DurationS: 5, IntervalS: 1, SampleMS: 10, PathA: a, PathB: b}
+	s1, err1 := exp.Run()
+	s2, err2 := exp.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("sample %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestOutageHelpers(t *testing.T) {
+	if OutageMS(nil) != 0 || OutageMS([]BERSample{{}}) != 0 {
+		t.Error("OutageMS of short series should be 0")
+	}
+	if MaxBER(nil) != 0 {
+		t.Error("MaxBER(nil) should be 0")
+	}
+}

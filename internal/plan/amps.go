@@ -1,0 +1,202 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/hose"
+	"iris/internal/optics"
+)
+
+// elementsFor renders a routed path as the ordered optical element chain
+// the physical layer will see (Fig. 11): a terminal amplifier and OSS at
+// the sending DC, an OSS at every non-bypassed intermediate node (plus a
+// loopback amplifier traversal where the path is amplified), and an OSS
+// and terminal amplifier at the receiving DC.
+func elementsFor(pr *pathRec) []optics.Element {
+	el := []optics.Element{{Kind: optics.Amp}, {Kind: optics.OSS}}
+	for i, e := range pr.ducts {
+		el = append(el, optics.Element{Kind: optics.Span, LengthKM: e.W})
+		if i == len(pr.ducts)-1 {
+			break
+		}
+		interior := pr.nodes[i+1]
+		if pr.bypass[interior] {
+			continue
+		}
+		el = append(el, optics.Element{Kind: optics.OSS})
+		if pr.ampNode == interior {
+			// Loopback amplification: into the OSS, through the amp, and
+			// back out — a second OSS traversal (hut H1 in Fig. 11).
+			el = append(el, optics.Element{Kind: optics.Amp}, optics.Element{Kind: optics.OSS})
+		}
+	}
+	el = append(el, optics.Element{Kind: optics.OSS}, optics.Element{Kind: optics.Amp})
+	return el
+}
+
+// segmentLossViolated reports whether any inter-amplifier segment of the
+// path exceeds the unamplified span limit (TC1). It is the allocation-free
+// equivalent of checking optics.Evaluate(elementsFor(pr)) for a
+// SegmentLoss violation, which the planner does in a hot loop.
+func segmentLossViolated(pr *pathRec) bool {
+	seg := 0.0
+	for i, e := range pr.ducts {
+		seg += e.W
+		if seg > optics.MaxSpanKM+1e-9 {
+			return true
+		}
+		if i < len(pr.ducts)-1 && pr.nodes[i+1] == pr.ampNode {
+			seg = 0
+		}
+	}
+	return false
+}
+
+// ossTraversals counts the path's optical-switch traversals: one at each
+// terminal, one per switched interior node, plus one more where the
+// loopback amplifier adds a second pass (matching elementsFor).
+func ossTraversals(pr *pathRec) int {
+	n := 2
+	for i := 0; i < len(pr.ducts)-1; i++ {
+		v := pr.nodes[i+1]
+		if pr.bypass[v] {
+			continue
+		}
+		n++
+		if v == pr.ampNode {
+			n++
+		}
+	}
+	return n
+}
+
+// reconfigViolated reports whether the path exceeds the TC4 switching
+// budget — the allocation-free equivalent of a ReconfigLoss check.
+func reconfigViolated(pr *pathRec) bool {
+	return ossTraversals(pr) > optics.MaxOSSPerPath
+}
+
+// placeAmps runs Algorithm 2 for one scenario: while paths violate the
+// segment-loss constraint (TC1), score every candidate amplifier location
+// by constraint resolutions per newly needed amplifier and place greedily
+// at the best one. Amplifier counts accumulate across scenarios in
+// p.amps (amplifiers are physical installations shared by all scenarios).
+func (p *planner) placeAmps(paths []*pathRec) error {
+	pending := make([]*pathRec, 0)
+	for _, pr := range paths {
+		if segmentLossViolated(pr) {
+			pending = append(pending, pr)
+		}
+	}
+
+	for len(pending) > 0 {
+		// Candidate locations: interior nodes whose amplifier would clear
+		// the path's segment-loss violation.
+		cands := make(map[int][]*pathRec)
+		for _, pr := range pending {
+			if pr.ampNode >= 0 {
+				// TC2 allows one inline amplifier; a path that still
+				// violates TC1 with its amp placed is unfixable.
+				p.plan.Viol = append(p.plan.Viol, fmt.Sprintf(
+					"pair %d-%d: segment loss unresolved with inline amp at %d",
+					pr.pair.A, pr.pair.B, pr.ampNode))
+				continue
+			}
+			found := false
+			for _, v := range pr.nodes[1 : len(pr.nodes)-1] {
+				if ampResolves(pr, v) {
+					cands[v] = append(cands[v], pr)
+					found = true
+				}
+			}
+			if !found {
+				p.plan.Viol = append(p.plan.Viol, fmt.Sprintf(
+					"pair %d-%d: no amplifier location can satisfy TC1 (%.1f km path)",
+					pr.pair.A, pr.pair.B, pr.totalKM))
+			}
+		}
+		if len(cands) == 0 {
+			// Everything left is unfixable and has been recorded.
+			return nil
+		}
+
+		best := pickAmpLocation(p, cands)
+		for _, pr := range cands[best] {
+			pr.ampNode = best
+		}
+
+		// Amplifiers at a site amplify one fiber each; the site needs as
+		// many as the worst-case load of the pairs amplified there (§4.1
+		// applied to amplifier demand, per Appendix A).
+		var ampedPairs []hose.Pair
+		for _, pr := range paths {
+			if pr.ampNode == best {
+				ampedPairs = append(ampedPairs, pr.pair)
+			}
+		}
+		need := int(math.Ceil(hose.WorstCaseLoad(p.caps, ampedPairs) - 1e-9))
+		if need > p.amps[best] {
+			p.amps[best] = need
+		}
+
+		var still []*pathRec
+		for _, pr := range pending {
+			if segmentLossViolated(pr) && pr.ampNode < 0 {
+				still = append(still, pr)
+			}
+		}
+		pending = still
+	}
+	return nil
+}
+
+// ampResolves reports whether placing the path's inline amplifier at node v
+// clears its segment-loss violation without creating another.
+func ampResolves(pr *pathRec, v int) bool {
+	saved := pr.ampNode
+	pr.ampNode = v
+	ok := !segmentLossViolated(pr)
+	pr.ampNode = saved
+	return ok
+}
+
+// pickAmpLocation scores candidate amplifier sites: resolved paths per
+// amplifier that must be newly installed, preferring sites whose existing
+// amplifiers (from earlier scenarios) can be reused for free. Ties break
+// on more paths resolved, then the smaller node ID, keeping the greedy
+// pass deterministic.
+func pickAmpLocation(p *planner, cands map[int][]*pathRec) int {
+	nodes := make([]int, 0, len(cands))
+	for v := range cands {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+
+	best := -1
+	var bestScore float64
+	bestResolved := 0
+	for _, v := range nodes {
+		var pairs []hose.Pair
+		for _, pr := range cands[v] {
+			pairs = append(pairs, pr.pair)
+		}
+		noa := int(math.Ceil(hose.WorstCaseLoad(p.caps, pairs) - 1e-9))
+		ntbp := noa - p.amps[v]
+		if ntbp < 0 {
+			ntbp = 0
+		}
+		var score float64
+		if ntbp == 0 {
+			score = math.Inf(1) // free: existing amplifiers suffice
+		} else {
+			score = float64(len(cands[v])) / float64(ntbp)
+		}
+		if best < 0 || score > bestScore ||
+			(score == bestScore && len(cands[v]) > bestResolved) {
+			best, bestScore, bestResolved = v, score, len(cands[v])
+		}
+	}
+	return best
+}

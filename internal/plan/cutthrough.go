@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/hose"
+)
+
+// placeCutThroughs resolves reconfiguration-budget violations (TC4: too
+// many optical switch traversals on a path) by building cut-through links:
+// uninterrupted fiber runs that traverse one or more switching points
+// without being switched (Appendix A). Candidates are scored by paths
+// resolved per duct of extra fiber; the best is built, affected paths mark
+// the bypassed nodes, and the loop repeats until no violations remain.
+func (p *planner) placeCutThroughs(paths []*pathRec) error {
+	for iter := 0; ; iter++ {
+		if iter > len(paths)*8 {
+			return fmt.Errorf("plan: cut-through placement did not converge")
+		}
+		var pending []*pathRec
+		for _, pr := range paths {
+			if reconfigViolated(pr) {
+				pending = append(pending, pr)
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+
+		type candidate struct {
+			key      string
+			from, to int
+			interior []int
+			ducts    []int
+			resolves []*pathRec
+		}
+		cands := make(map[string]*candidate)
+		for _, pr := range pending {
+			for _, c := range cutCandidates(pr) {
+				key := ctKey(c.from, c.to, c.ducts)
+				cc, ok := cands[key]
+				if !ok {
+					cc = &candidate{key: key, from: c.from, to: c.to, interior: c.interior, ducts: c.ducts}
+					cands[key] = cc
+				}
+				cc.resolves = append(cc.resolves, pr)
+			}
+		}
+		if len(cands) == 0 {
+			for _, pr := range pending {
+				p.plan.Viol = append(p.plan.Viol, fmt.Sprintf(
+					"pair %d-%d: no cut-through can satisfy TC4", pr.pair.A, pr.pair.B))
+			}
+			return nil
+		}
+
+		// Deterministic greedy choice: paths resolved per duct of fiber.
+		keys := make([]string, 0, len(cands))
+		for k := range cands {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var best *candidate
+		var bestScore float64
+		for _, k := range keys {
+			c := cands[k]
+			score := float64(len(c.resolves)) / float64(len(c.ducts))
+			if best == nil || score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+
+		for _, pr := range best.resolves {
+			for _, n := range best.interior {
+				pr.bypass[n] = true
+			}
+			for _, d := range best.ducts {
+				pr.cutDucts[d] = true
+			}
+		}
+
+		// Fiber on the cut-through: worst-case load of the pairs using it,
+		// maximised across scenarios (the link is physical infrastructure).
+		var pairs []hose.Pair
+		for _, pr := range best.resolves {
+			pairs = append(pairs, pr.pair)
+		}
+		need := int(math.Ceil(hose.WorstCaseLoad(p.caps, pairs) - 1e-9))
+		ct, ok := p.cuts[best.key]
+		if !ok {
+			ct = &CutThrough{From: best.from, To: best.to,
+				Ducts: best.ducts, Interior: best.interior}
+			p.cuts[best.key] = ct
+		}
+		if need > ct.Pairs {
+			delta := need - ct.Pairs
+			ct.Pairs = need
+			for _, d := range best.ducts {
+				p.ductUse(d).CutThroughPairs += delta
+			}
+		}
+	}
+}
+
+type cutCand struct {
+	from, to int
+	interior []int
+	ducts    []int
+}
+
+// cutCandidates enumerates the contiguous runs of switched interior nodes
+// a cut-through could bypass on this path. The amplified node cannot be
+// bypassed (the path needs its amplifier). Candidates need not resolve the
+// violation outright — the greedy loop applies cut-throughs until the
+// budget is met, and full bypassing always fits it (at most two terminal
+// plus two loopback OSS traversals remain).
+func cutCandidates(pr *pathRec) []cutCand {
+	n := len(pr.nodes)
+	var out []cutCand
+	for i := 0; i < n-1; i++ {
+		for j := i + 2; j < n; j++ {
+			// Bypass interior nodes strictly between nodes[i] and nodes[j].
+			var interior []int
+			valid := true
+			for _, v := range pr.nodes[i+1 : j] {
+				if v == pr.ampNode {
+					valid = false
+					break
+				}
+				if pr.bypass[v] {
+					continue // already bypassed; no gain from this run
+				}
+				interior = append(interior, v)
+			}
+			if !valid || len(interior) == 0 {
+				continue
+			}
+			var ducts []int
+			for k := i; k < j; k++ {
+				ducts = append(ducts, pr.ducts[k].ID)
+			}
+			out = append(out, cutCand{
+				from: pr.nodes[i], to: pr.nodes[j],
+				interior: interior, ducts: ducts,
+			})
+		}
+	}
+	return out
+}
+
+// ctKey identifies a cut-through by endpoints and duct sequence. It is on
+// the planner's hot path, so it packs the IDs as compact 16-bit values
+// rather than formatting text.
+func ctKey(from, to int, ducts []int) string {
+	b := make([]byte, 0, 4+2*len(ducts))
+	b = append(b, byte(from), byte(from>>8), byte(to), byte(to>>8))
+	for _, d := range ducts {
+		b = append(b, byte(d), byte(d>>8))
+	}
+	return string(b)
+}

@@ -1,0 +1,628 @@
+// Package plan implements Iris network planning (§4 of the paper): given a
+// region's fiber map, DC capacities, and a failure tolerance, it decides
+// the topology (which ducts and huts are used), the fiber capacity of every
+// duct, and the optical equipment — amplifiers and cut-through links —
+// needed to satisfy the technology constraints TC1–TC4 on every end-to-end
+// path in every failure scenario.
+//
+// The planning pipeline is:
+//
+//  1. Algorithm 1 (§4.1): enumerate failure scenarios (all duct-cut subsets
+//     up to the tolerance), route every DC pair on its shortest surviving
+//     path, and provision each duct for the worst-case hose-model load it
+//     sees in any scenario.
+//  2. Residual fibers (§4.3): fiber-granularity switching needs one extra
+//     fiber-pair per DC pair to absorb fractional wavelength demands; these
+//     follow each pair's path in every scenario.
+//  3. Algorithm 2 (Appendix A): greedily place amplifiers so every path
+//     segment's optical loss fits one amplifier's gain.
+//  4. Cut-through links (Appendix A): greedily replace switched hops with
+//     uninterrupted fiber where paths still violate the power or
+//     reconfiguration budgets.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/fibermap"
+	"iris/internal/graph"
+	"iris/internal/hose"
+	"iris/internal/optics"
+)
+
+// Input is the planning problem statement.
+type Input struct {
+	Map *fibermap.Map
+	// Capacity maps DC node ID to its hose capacity in fiber-pairs (the
+	// paper's f). A DC of capacity f sources at most f·λ wavelengths.
+	Capacity map[int]int
+	// Lambda is the number of wavelengths per fiber (40 or 64).
+	Lambda int
+	// MaxFailures is the number of simultaneous duct cuts to survive
+	// (OC4; the paper's operational default is 2).
+	MaxFailures int
+	// ViaHubs, when non-empty, plans the centralized design instead of
+	// the distributed one: every DC pair routes through whichever listed
+	// hub gives the shorter DC-hub-DC fiber path (§2's hub-and-spoke
+	// model, with two hubs in practice). Empty means distributed
+	// shortest-path routing (OC3).
+	ViaHubs []int
+}
+
+// Validate reports the first problem with the input.
+func (in Input) Validate() error {
+	if in.Map == nil {
+		return fmt.Errorf("plan: nil fiber map")
+	}
+	if err := in.Map.Validate(); err != nil {
+		return err
+	}
+	dcs := in.Map.DCs()
+	if len(dcs) < 2 {
+		return fmt.Errorf("plan: need at least 2 DCs, have %d", len(dcs))
+	}
+	for _, dc := range dcs {
+		c, ok := in.Capacity[dc]
+		if !ok {
+			return fmt.Errorf("plan: no capacity for DC %d", dc)
+		}
+		if c <= 0 {
+			return fmt.Errorf("plan: DC %d has non-positive capacity %d", dc, c)
+		}
+	}
+	if in.Lambda <= 0 {
+		return fmt.Errorf("plan: lambda must be positive, got %d", in.Lambda)
+	}
+	if in.MaxFailures < 0 {
+		return fmt.Errorf("plan: negative failure tolerance %d", in.MaxFailures)
+	}
+	for _, h := range in.ViaHubs {
+		if h < 0 || h >= len(in.Map.Nodes) {
+			return fmt.Errorf("plan: hub node %d out of range", h)
+		}
+		if in.Map.Nodes[h].Kind != fibermap.Hut {
+			return fmt.Errorf("plan: hub node %d is not a hut", h)
+		}
+	}
+	return nil
+}
+
+// DuctUse is the provisioning decision for one fiber duct.
+type DuctUse struct {
+	DuctID int
+	// BasePairs is the hose-model capacity from Algorithm 1, in
+	// fiber-pairs: the worst-case integer wavelength demand divided by λ,
+	// maximised over failure scenarios.
+	BasePairs int
+	// ResidualPairs is the §4.3 fiber-switching overhead: one pair per DC
+	// pair routed over this duct, maximised over failure scenarios.
+	ResidualPairs int
+	// CutThroughPairs is fiber leased in this duct by cut-through links.
+	CutThroughPairs int
+}
+
+// TotalPairs is the number of fiber-pairs leased in the duct.
+func (d DuctUse) TotalPairs() int { return d.BasePairs + d.ResidualPairs + d.CutThroughPairs }
+
+// CutThrough is an uninterrupted fiber run bypassing the optical switches
+// at the interior nodes of a path segment (Appendix A).
+type CutThrough struct {
+	From, To int   // endpoint nodes (switched at these, not between)
+	Ducts    []int // duct IDs traversed, in order
+	Interior []int // interior nodes whose OSS the link bypasses
+	Pairs    int   // fiber-pairs provisioned on the link
+}
+
+// PathInfo describes the shortest path of one DC pair in the failure-free
+// topology, as used for circuit setup.
+type PathInfo struct {
+	Pair    hose.Pair
+	Nodes   []int
+	Ducts   []int
+	TotalKM float64
+	// AmpNodes lists intermediate nodes whose amplifier this path uses.
+	AmpNodes []int
+	// Bypassed lists intermediate nodes whose OSS the path skips via a
+	// cut-through.
+	Bypassed []int
+	// CutDucts lists ducts where this pair's traffic rides a cut-through
+	// fiber instead of switched base capacity.
+	CutDucts []int
+}
+
+// SLAViolation records a DC pair whose surviving shortest path exceeds the
+// SLA distance in some failure scenario. Planning continues — the capacity
+// is still provisioned — but operators need to know the SLA is at risk.
+type SLAViolation struct {
+	Pair    hose.Pair
+	Cuts    []int // duct IDs cut in the scenario
+	TotalKM float64
+}
+
+// Plan is the planner output.
+type Plan struct {
+	Input  Input
+	Ducts  map[int]*DuctUse // keyed by duct ID; only ducts with any use
+	Paths  map[hose.Pair]*PathInfo
+	Amps   map[int]int // node ID -> amplifier count
+	Cuts   []CutThrough
+	SLA    []SLAViolation
+	Viol   []string // residual optical violations (empty when planning succeeded)
+	NScena int      // failure scenarios examined
+}
+
+// New plans a region. It returns an error for invalid input or if the
+// fiber map cannot satisfy the constraints at all (e.g. a DC pair whose
+// only paths exceed the amplifier budget).
+func New(in Input) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	p := &planner{
+		in:    in,
+		ducts: make(map[int]*DuctUse),
+		amps:  make(map[int]int),
+		cuts:  make(map[string]*CutThrough),
+	}
+	return p.run()
+}
+
+type planner struct {
+	in    Input
+	base  *graph.Graph
+	dcs   []int
+	caps  map[int]float64 // DC -> capacity in fiber-pairs (float for hose)
+	ducts map[int]*DuctUse
+	amps  map[int]int
+	cuts  map[string]*CutThrough
+	plan  *Plan
+	// hoseCache memoises worst-case hose loads by pair-set signature;
+	// most failure scenarios reproduce the same per-duct pair sets.
+	hoseCache map[string]float64
+}
+
+// pathRec is the per-scenario routing record for one DC pair.
+type pathRec struct {
+	pair    hose.Pair
+	nodes   []int
+	ducts   []graph.Edge
+	totalKM float64
+	ampNode int          // node carrying this path's inline amplifier, or -1
+	bypass  map[int]bool // interior nodes bypassed by a cut-through
+	// cutDucts marks ducts whose switched base capacity this pair does not
+	// consume because its traffic rides a cut-through fiber there instead.
+	cutDucts map[int]bool
+}
+
+func (p *planner) run() (*Plan, error) {
+	m := p.in.Map
+	p.dcs = m.DCs()
+	p.caps = make(map[int]float64, len(p.dcs))
+	for _, dc := range p.dcs {
+		p.caps[dc] = float64(p.in.Capacity[dc])
+	}
+
+	// §4.1: ducts longer than the unamplified span limit can never be used
+	// point-to-point and are excluded outright.
+	p.base = graph.New(len(m.Nodes))
+	for _, d := range m.Ducts {
+		if d.FiberKM <= optics.MaxSpanKM {
+			p.base.AddEdge(d.ID, d.A, d.B, d.FiberKM)
+		}
+	}
+
+	p.plan = &Plan{
+		Input: p.in,
+		Ducts: p.ducts,
+		Paths: make(map[hose.Pair]*PathInfo),
+		Amps:  p.amps,
+	}
+
+	// Reject regions that are disconnected even before any failure.
+	full := p.base
+	labels := full.Components()
+	for _, dc := range p.dcs[1:] {
+		if labels[dc] != labels[p.dcs[0]] {
+			return nil, fmt.Errorf("plan: DCs %d and %d are not connected by usable ducts", p.dcs[0], dc)
+		}
+	}
+
+	// Pruned scenario enumeration: a cut of a duct that no chosen path
+	// uses leaves every path — and hence all provisioning — unchanged, so
+	// only used ducts need be considered for the next cut. With
+	// deterministic tie-breaking, removing an unused duct cannot alter
+	// which paths Dijkstra selects, making the pruning exact.
+	seen := make(map[string]bool)
+	p.hoseCache = make(map[string]float64)
+	cut := make(map[int]bool, p.in.MaxFailures)
+	var visit func() error
+	visit = func() error {
+		key := cutKey(cut)
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		p.plan.NScena++
+		used, err := p.scenario(cut)
+		if err != nil {
+			return err
+		}
+		if len(cut) >= p.in.MaxFailures {
+			return nil
+		}
+		sort.Ints(used)
+		for _, d := range used {
+			if cut[d] {
+				continue
+			}
+			cut[d] = true
+			if err := visit(); err != nil {
+				return err
+			}
+			delete(cut, d)
+		}
+		return nil
+	}
+	if err := visit(); err != nil {
+		return nil, err
+	}
+	sortCutThroughs(p)
+	return p.plan, nil
+}
+
+func cutKey(cut map[int]bool) string {
+	ids := make([]int, 0, len(cut))
+	for id := range cut {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}
+
+// scenario processes one failure scenario end to end: routing, capacity,
+// amplifiers and cut-throughs. It returns the duct IDs used by any chosen
+// path, which drives the pruned scenario enumeration.
+func (p *planner) scenario(cut map[int]bool) ([]int, error) {
+	g := p.base
+	if len(cut) > 0 {
+		g = p.base.WithoutEdges(cut)
+	}
+
+	paths := p.routeAll(g, cut)
+	if err := p.placeAmps(paths); err != nil {
+		return nil, err
+	}
+	if err := p.placeCutThroughs(paths); err != nil {
+		return nil, err
+	}
+	// Provisioning runs after cut-through placement: traffic on a
+	// cut-through fiber does not also consume switched base capacity on
+	// the ducts it bypasses.
+	p.provision(paths)
+	if len(cut) == 0 {
+		p.recordBasePaths(paths)
+	}
+
+	usedSet := make(map[int]bool)
+	for _, pr := range paths {
+		for _, e := range pr.ducts {
+			usedSet[e.ID] = true
+		}
+	}
+	used := make([]int, 0, len(usedSet))
+	for id := range usedSet {
+		used = append(used, id)
+	}
+	return used, nil
+}
+
+// routeAll computes every DC pair's route in g — shortest path in the
+// distributed design, best DC-hub-DC path in the centralized one —
+// skipping pairs disconnected by the cuts and recording SLA overruns.
+func (p *planner) routeAll(g *graph.Graph, cut map[int]bool) []*pathRec {
+	var paths []*pathRec
+	record := func(a, b int, nodes []int, edges []graph.Edge, total float64) {
+		if total > optics.MaxPathKM+1e-9 {
+			cuts := make([]int, 0, len(cut))
+			for id := range cut {
+				cuts = append(cuts, id)
+			}
+			sort.Ints(cuts)
+			p.plan.SLA = append(p.plan.SLA, SLAViolation{
+				Pair: hose.Pair{A: a, B: b}, Cuts: cuts, TotalKM: total,
+			})
+		}
+		paths = append(paths, &pathRec{
+			pair:     hose.Pair{A: a, B: b},
+			nodes:    nodes,
+			ducts:    edges,
+			totalKM:  total,
+			ampNode:  -1,
+			bypass:   make(map[int]bool),
+			cutDucts: make(map[int]bool),
+		})
+	}
+
+	if len(p.in.ViaHubs) > 0 {
+		hubTrees := make(map[int]*graph.ShortestPathTree, len(p.in.ViaHubs))
+		for _, h := range p.in.ViaHubs {
+			hubTrees[h] = g.Dijkstra(h)
+		}
+		for i, a := range p.dcs {
+			for _, b := range p.dcs[i+1:] {
+				nodes, edges, total, ok := bestHubPath(hubTrees, p.in.ViaHubs, a, b)
+				if !ok {
+					continue
+				}
+				record(a, b, nodes, edges, total)
+			}
+		}
+		return paths
+	}
+
+	trees := make(map[int]*graph.ShortestPathTree, len(p.dcs))
+	for _, dc := range p.dcs {
+		trees[dc] = g.Dijkstra(dc)
+	}
+	for i, a := range p.dcs {
+		for _, b := range p.dcs[i+1:] {
+			nodes, edges, ok := trees[a].PathTo(b)
+			if !ok {
+				continue // cut disconnected this pair; no guarantee owed
+			}
+			record(a, b, nodes, edges, trees[a].Dist[b])
+		}
+	}
+	return paths
+}
+
+// bestHubPath returns the shortest DC-hub-DC walk over the given hubs.
+// The two legs may share ducts (e.g. both DCs behind the same trunk): the
+// result is then a walk that crosses those ducts twice, and provisioning
+// accounts for the double crossing.
+func bestHubPath(trees map[int]*graph.ShortestPathTree, hubs []int, a, b int) (nodes []int, edges []graph.Edge, total float64, ok bool) {
+	best := graph.Inf
+	for _, h := range hubs {
+		t := trees[h]
+		d := t.Dist[a] + t.Dist[b]
+		if d >= best || d >= graph.Inf {
+			continue
+		}
+		nodesA, edgesA, okA := t.PathTo(a)
+		nodesB, edgesB, okB := t.PathTo(b)
+		if !okA || !okB {
+			continue
+		}
+		// Leg A reversed (a → hub) followed by leg B (hub → b).
+		var ns []int
+		for i := len(nodesA) - 1; i >= 0; i-- {
+			ns = append(ns, nodesA[i])
+		}
+		ns = append(ns, nodesB[1:]...)
+		var es []graph.Edge
+		for i := len(edgesA) - 1; i >= 0; i-- {
+			es = append(es, edgesA[i])
+		}
+		es = append(es, edgesB...)
+		nodes, edges, total, ok = ns, es, d, true
+		best = d
+	}
+	return nodes, edges, total, ok
+}
+
+// provision applies the Algorithm 1 capacity rule and the §4.3 residual
+// rule for one scenario, taking per-duct maxima against prior scenarios.
+// Pairs riding a cut-through contribute no switched base capacity to the
+// ducts it covers (the cut-through fiber carries them), but their residual
+// fiber still follows the full path.
+//
+// Centralized (via-hub) walks may cross a duct more than once; each extra
+// crossing is provisioned at the pair's full hose demand, a sound upper
+// bound on the exact (weighted) worst case.
+func (p *planner) provision(paths []*pathRec) {
+	crossings := make(map[int]map[hose.Pair]int)
+	residualByDuct := make(map[int]int)
+	for _, pr := range paths {
+		for _, e := range pr.ducts {
+			residualByDuct[e.ID]++
+			if !pr.cutDucts[e.ID] {
+				byPair := crossings[e.ID]
+				if byPair == nil {
+					byPair = make(map[hose.Pair]int)
+					crossings[e.ID] = byPair
+				}
+				byPair[pr.pair]++
+			}
+		}
+	}
+	for ductID, byPair := range crossings {
+		pairs := make([]hose.Pair, 0, len(byPair))
+		extra := 0.0
+		for pair, k := range byPair {
+			pairs = append(pairs, pair)
+			if k > 1 {
+				extra += float64(k-1) * math.Min(p.caps[pair.A], p.caps[pair.B])
+			}
+		}
+		load := p.cachedLoad(pairs) + extra
+		basePairs := int(math.Ceil(load - 1e-9))
+		du := p.ductUse(ductID)
+		if basePairs > du.BasePairs {
+			du.BasePairs = basePairs
+		}
+	}
+	for ductID, n := range residualByDuct {
+		du := p.ductUse(ductID)
+		if n > du.ResidualPairs {
+			du.ResidualPairs = n
+		}
+	}
+}
+
+// cachedLoad memoises hose.WorstCaseLoad over the planner's fixed DC
+// capacities, keyed by the (sorted) pair-set signature.
+func (p *planner) cachedLoad(pairs []hose.Pair) float64 {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	key := make([]byte, 0, 4*len(pairs))
+	for _, pr := range pairs {
+		key = append(key,
+			byte(pr.A), byte(pr.A>>8),
+			byte(pr.B), byte(pr.B>>8))
+	}
+	if load, ok := p.hoseCache[string(key)]; ok {
+		return load
+	}
+	load := hose.WorstCaseLoad(p.caps, pairs)
+	p.hoseCache[string(key)] = load
+	return load
+}
+
+func (p *planner) ductUse(id int) *DuctUse {
+	du, ok := p.ducts[id]
+	if !ok {
+		du = &DuctUse{DuctID: id}
+		p.ducts[id] = du
+	}
+	return du
+}
+
+// recordBasePaths captures the failure-free paths for circuit setup.
+func (p *planner) recordBasePaths(paths []*pathRec) {
+	for _, pr := range paths {
+		info := &PathInfo{
+			Pair:    pr.pair,
+			Nodes:   pr.nodes,
+			TotalKM: pr.totalKM,
+		}
+		for _, e := range pr.ducts {
+			info.Ducts = append(info.Ducts, e.ID)
+		}
+		if pr.ampNode >= 0 {
+			info.AmpNodes = append(info.AmpNodes, pr.ampNode)
+		}
+		for n := range pr.bypass {
+			info.Bypassed = append(info.Bypassed, n)
+		}
+		sort.Ints(info.Bypassed)
+		for d := range pr.cutDucts {
+			info.CutDucts = append(info.CutDucts, d)
+		}
+		sort.Ints(info.CutDucts)
+		p.plan.Paths[pr.pair] = info
+	}
+}
+
+func sortCutThroughs(p *planner) {
+	keys := make([]string, 0, len(p.cuts))
+	for k := range p.cuts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.plan.Cuts = append(p.plan.Cuts, *p.cuts[k])
+	}
+}
+
+// EvaluatePath re-evaluates the stored failure-free path of a DC pair
+// against the optical constraints, reconstructing its element chain from
+// the recorded amplifier and cut-through assignments.
+func (pl *Plan) EvaluatePath(pair hose.Pair) (optics.PathEval, bool) {
+	info, ok := pl.Paths[pair.Canonical()]
+	if !ok {
+		return optics.PathEval{}, false
+	}
+	pr := &pathRec{
+		pair:    info.Pair,
+		nodes:   info.Nodes,
+		totalKM: info.TotalKM,
+		ampNode: -1,
+		bypass:  make(map[int]bool),
+	}
+	for _, id := range info.Ducts {
+		d := pl.Input.Map.Ducts[id]
+		pr.ducts = append(pr.ducts, graph.Edge{ID: d.ID, U: d.A, V: d.B, W: d.FiberKM})
+	}
+	if len(info.AmpNodes) > 0 {
+		pr.ampNode = info.AmpNodes[0]
+	}
+	for _, n := range info.Bypassed {
+		pr.bypass[n] = true
+	}
+	return optics.Evaluate(elementsFor(pr)), true
+}
+
+// TotalFiberPairs returns the region-wide number of leased fiber-pairs.
+func (pl *Plan) TotalFiberPairs() int {
+	total := 0
+	for _, du := range pl.Ducts {
+		total += du.TotalPairs()
+	}
+	return total
+}
+
+// BaseFiberPairs returns the fiber-pairs provisioned by Algorithm 1 alone,
+// which is exactly the fiber an electrical packet-switched design leases.
+func (pl *Plan) BaseFiberPairs() int {
+	total := 0
+	for _, du := range pl.Ducts {
+		total += du.BasePairs
+	}
+	return total
+}
+
+// TotalAmps returns the number of amplifiers placed in the network.
+func (pl *Plan) TotalAmps() int {
+	total := 0
+	for _, n := range pl.Amps {
+		total += n
+	}
+	return total
+}
+
+// UsedHuts returns the hut nodes that terminate at least one provisioned
+// duct; huts with no capacity are simply not part of the topology (§4.1).
+func (pl *Plan) UsedHuts() []int {
+	used := make(map[int]bool)
+	for id, du := range pl.Ducts {
+		if du.TotalPairs() == 0 {
+			continue
+		}
+		d := pl.Input.Map.Ducts[id]
+		for _, n := range []int{d.A, d.B} {
+			if pl.Input.Map.Nodes[n].Kind == fibermap.Hut {
+				used[n] = true
+			}
+		}
+	}
+	huts := make([]int, 0, len(used))
+	for h := range used {
+		huts = append(huts, h)
+	}
+	sort.Ints(huts)
+	return huts
+}
+
+// DCFiberEnds returns, per node, the number of fiber-pair ends terminating
+// there (base + residual; cut-throughs terminate only at their endpoint
+// nodes and are reported separately by CutThroughEnds).
+func (pl *Plan) FiberEndsByNode() map[int]int {
+	ends := make(map[int]int)
+	for id, du := range pl.Ducts {
+		d := pl.Input.Map.Ducts[id]
+		n := du.BasePairs + du.ResidualPairs
+		ends[d.A] += n
+		ends[d.B] += n
+	}
+	for _, ct := range pl.Cuts {
+		ends[ct.From] += ct.Pairs
+		ends[ct.To] += ct.Pairs
+	}
+	return ends
+}

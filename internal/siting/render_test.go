@@ -1,0 +1,48 @@
+package siting
+
+import (
+	"strings"
+	"testing"
+
+	"iris/internal/fibermap"
+)
+
+func TestRender(t *testing.T) {
+	m, dcs := region(t, 6, 4)
+	a := DefaultAnalysis(m)
+	a.GridCellKM = 4
+	h1, h2 := fibermap.ChooseHubs(m, 6)
+
+	out := a.Render(h1, h2, dcs, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("render too small:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "legend") {
+		t.Error("missing legend")
+	}
+	body := strings.Join(lines[1:], "\n")
+	for _, ch := range []string{"#", "+", ".", "H", "o", "D"} {
+		if !strings.Contains(body, ch) {
+			t.Errorf("render missing %q:\n%s", ch, out)
+		}
+	}
+	// Every body line has the same width.
+	w := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("line %d width %d != %d", i, len(l), w)
+		}
+	}
+}
+
+func TestRenderMinimumWidth(t *testing.T) {
+	m, dcs := region(t, 6, 2)
+	a := DefaultAnalysis(m)
+	h1, h2 := fibermap.ChooseHubs(m, 6)
+	out := a.Render(h1, h2, dcs, 1) // clamped to 8
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 || len(lines[1]) != 8 {
+		t.Errorf("clamped width = %d, want 8", len(lines[1]))
+	}
+}

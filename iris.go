@@ -1,0 +1,102 @@
+// Package iris is a from-scratch reproduction of "Beyond the mega-data
+// center: networking multi-data center regions" (Dukic et al., SIGCOMM
+// 2020): the design-space analysis of regional data-center interconnects
+// and the Iris all-optical, fiber-switched DCI architecture.
+//
+// This top-level package is the public face of the library for downstream
+// importers: it re-exports the planning, costing, allocation and
+// fiber-map types from the implementation packages under internal/. The
+// typical flow is:
+//
+//	m := iris.GenerateMap(iris.DefaultGenConfig(seed))
+//	dcs, err := iris.PlaceDCs(m, iris.DefaultPlaceConfig(seed, 8))
+//	dep, err := iris.Plan(iris.Region{Map: m, Capacity: caps, Lambda: 40},
+//	    iris.Options{MaxFailures: 2})
+//	alloc, err := dep.Allocate(matrix)          // circuits for a demand matrix
+//	moves := iris.Diff(oldAlloc, newAlloc)      // what a reconfiguration touches
+//
+// The cmd/ tools (irisplan, irisbench, irisctl) and examples/ programs
+// exercise the same API end to end; DESIGN.md catalogues the system
+// inventory and EXPERIMENTS.md the paper-vs-measured outcomes.
+package iris
+
+import (
+	"iris/internal/core"
+	"iris/internal/cost"
+	"iris/internal/fibermap"
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+// Fiber-map types (internal/fibermap).
+type (
+	// Map is a region's fiber map: DC and hut nodes joined by fiber ducts.
+	Map = fibermap.Map
+	// GenConfig parameterises the synthetic metro fiber-map generator.
+	GenConfig = fibermap.GenConfig
+	// PlaceConfig parameterises the paper's randomized DC placement (§6.1).
+	PlaceConfig = fibermap.PlaceConfig
+	// ToyRegion is the paper's Fig. 10 worked example.
+	ToyRegion = fibermap.ToyRegion
+)
+
+// Planning types (internal/core, internal/cost).
+type (
+	// Region is the planning input: fiber map, per-DC capacities in
+	// fiber-pairs, and wavelengths per fiber.
+	Region = core.Region
+	// Options tunes planning (failure tolerance, price catalog).
+	Options = core.Options
+	// Deployment is a planned region with its cost breakdowns.
+	Deployment = core.Deployment
+	// Allocation assigns fiber circuits and residual wavelengths per DC pair.
+	Allocation = core.Allocation
+	// Move is one pair's circuit change between two allocations.
+	Move = core.Move
+	// Catalog holds annual amortized component prices (§3.3).
+	Catalog = cost.Catalog
+	// Breakdown is a priced bill of materials for one design.
+	Breakdown = cost.Breakdown
+)
+
+// Traffic types (internal/traffic, internal/hose).
+type (
+	// Matrix is a symmetric DC-pair demand matrix.
+	Matrix = traffic.Matrix
+	// Pair is an unordered DC pair.
+	Pair = hose.Pair
+	// ChangeProcess evolves a matrix per §6.3 (bounded or unbounded).
+	ChangeProcess = traffic.ChangeProcess
+)
+
+// Toy returns the paper's Fig. 10 example region (§3.4).
+func Toy() *ToyRegion { return fibermap.Toy() }
+
+// DefaultGenConfig returns the evaluation's fiber-map generator settings
+// for the given seed.
+func DefaultGenConfig(seed int64) GenConfig { return fibermap.DefaultGenConfig(seed) }
+
+// GenerateMap builds a synthetic metro fiber map of huts and ducts.
+func GenerateMap(cfg GenConfig) *Map { return fibermap.Generate(cfg) }
+
+// DefaultPlaceConfig returns the paper's DC-placement settings (120 km SLA).
+func DefaultPlaceConfig(seed int64, n int) PlaceConfig {
+	return fibermap.DefaultPlaceConfig(seed, n)
+}
+
+// PlaceDCs adds n data centers to a map using the §6.1 procedure.
+func PlaceDCs(m *Map, cfg PlaceConfig) ([]int, error) { return fibermap.PlaceDCs(m, cfg) }
+
+// Plan plans a region end to end: Algorithm 1 topology and capacity under
+// failures, residual fibers, Algorithm 2 amplifiers, cut-throughs, and the
+// EPS/Iris/hybrid cost breakdowns.
+func Plan(region Region, opts Options) (*Deployment, error) { return core.Plan(region, opts) }
+
+// Diff returns the circuit moves between two allocations.
+func Diff(oldA, newA Allocation) []Move { return core.Diff(oldA, newA) }
+
+// DefaultCatalog returns the paper's §3.3 component prices.
+func DefaultCatalog() Catalog { return cost.Default() }
+
+// NewMatrix returns a zero demand matrix over the given DC node IDs.
+func NewMatrix(dcs []int) *Matrix { return traffic.NewMatrix(dcs) }

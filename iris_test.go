@@ -1,0 +1,64 @@
+package iris_test
+
+import (
+	"fmt"
+	"log"
+	"testing"
+
+	"iris"
+)
+
+// TestPublicAPIRoundTrip exercises the top-level surface the way a
+// downstream importer would.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	m := iris.GenerateMap(iris.DefaultGenConfig(3))
+	dcs, err := iris.PlaceDCs(m, iris.DefaultPlaceConfig(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make(map[int]int, len(dcs))
+	for _, dc := range dcs {
+		caps[dc] = 8
+	}
+	dep, err := iris.Plan(iris.Region{Map: m, Capacity: caps, Lambda: 40},
+		iris.Options{MaxFailures: 1, Prices: iris.DefaultCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := dep.EPS.Total() / dep.Iris.Total(); ratio < 1.5 {
+		t.Errorf("EPS/Iris = %.2f, expected a clear Iris advantage", ratio)
+	}
+
+	tm := iris.NewMatrix(dcs)
+	tm.Set(iris.Pair{A: dcs[0], B: dcs[1]}, 60)
+	alloc, err := dep.Allocate(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.Set(iris.Pair{A: dcs[0], B: dcs[1]}, 10)
+	alloc2, err := dep.Allocate(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := iris.Diff(alloc, alloc2)
+	if len(moves) != 1 || moves[0].FibersDelta != -1 {
+		t.Errorf("moves = %+v, want one single-fiber shrink", moves)
+	}
+}
+
+// Example plans the paper's toy region through the public API.
+func Example() {
+	toy := iris.Toy()
+	caps := make(map[int]int)
+	for _, dc := range toy.Map.DCs() {
+		caps[dc] = 10
+	}
+	dep, err := iris.Plan(iris.Region{Map: toy.Map, Capacity: caps, Lambda: 40}, iris.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the electrical design costs %.1fx the Iris design\n",
+		dep.EPS.Total()/dep.Iris.Total())
+	// Output:
+	// the electrical design costs 2.7x the Iris design
+}
