@@ -70,6 +70,35 @@ func BenchmarkFig9OSNRPenalty(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep times the Fig. 12 quick grid fully serial
+// (Parallelism 1): it isolates the single-thread wins — the hoisted map
+// generation, the reused 0-failure plan, and the memoised shortest-path
+// trees — from worker-pool scaling.
+func BenchmarkSweep(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	cfg.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "rows")
+	}
+}
+
+// BenchmarkSweepParallel times the same grid with the worker pool at
+// GOMAXPROCS; rows are identical to BenchmarkSweep's by construction.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := experiments.QuickSweep() // Parallelism 0 = GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "rows")
+	}
+}
+
 func BenchmarkFig12aCostCDF(b *testing.B) {
 	cfg := experiments.QuickSweep()
 	for i := 0; i < b.N; i++ {

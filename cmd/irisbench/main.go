@@ -27,8 +27,9 @@ func main() {
 	log.SetPrefix("irisbench: ")
 
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss)")
-		full = flag.Bool("full", false, "run the Fig. 12 sweep at full paper scale (240 scenarios)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss)")
+		full     = flag.Bool("full", false, "run the Fig. 12 sweep at full paper scale (240 scenarios)")
+		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial; rows are identical at every setting")
 	)
 	flag.Parse()
 
@@ -104,6 +105,7 @@ func main() {
 			cfg = experiments.PaperSweep()
 			label = "full 240-scenario grid, 2-failure tolerance"
 		}
+		cfg.Parallelism = *parallel
 		t0 := time.Now()
 		rows, err := experiments.Sweep(cfg)
 		if err != nil {

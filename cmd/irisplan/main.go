@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	irisplan [-toy] [-seed N] [-dcs N] [-capacity F] [-lambda L] [-failures K] [-v]
+//	irisplan [-toy] [-seed N] [-seeds N,M,...] [-dcs N] [-capacity F] [-lambda L] [-failures K] [-parallel W] [-v]
+//
+// With -seeds, one region per listed seed is planned — concurrently,
+// bounded by -parallel — and each deployment is printed in seed order.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"iris/internal/core"
 	"iris/internal/fibermap"
@@ -27,15 +32,27 @@ func main() {
 	var (
 		toy      = flag.Bool("toy", false, "plan the paper's Fig. 10 toy region instead of a generated one")
 		seed     = flag.Int64("seed", 1, "region generator seed")
+		seeds    = flag.String("seeds", "", "comma-separated generator seeds: plan one region per seed (overrides -seed; incompatible with -toy/-load/-save)")
 		dcs      = flag.Int("dcs", 8, "number of data centers to place")
 		capacity = flag.Int("capacity", 16, "per-DC capacity in fiber-pairs")
 		lambda   = flag.Int("lambda", 40, "wavelengths per fiber")
 		failures = flag.Int("failures", 2, "fiber-cut tolerance")
+		parallel = flag.Int("parallel", 0, "worker count for -seeds planning: 0 = GOMAXPROCS, 1 = serial")
 		load     = flag.String("load", "", "plan a region loaded from a JSON file instead of generating one")
 		save     = flag.String("save", "", "write the region (generated or loaded) to a JSON file")
 		verbose  = flag.Bool("v", false, "print per-duct and per-path detail")
 	)
 	flag.Parse()
+
+	if *seeds != "" {
+		if *toy || *load != "" || *save != "" {
+			log.Fatal("-seeds cannot be combined with -toy, -load, or -save")
+		}
+		if err := planSeeds(*seeds, *dcs, *capacity, *lambda, *failures, *parallel, *verbose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var region core.Region
 	var err error
@@ -57,6 +74,35 @@ func main() {
 		log.Fatal(err)
 	}
 	printDeployment(dep, *verbose)
+}
+
+// planSeeds builds one region per listed seed and plans them all through
+// core.PlanMany, printing each deployment in seed order.
+func planSeeds(list string, dcs, capacity, lambda, failures, parallel int, verbose bool) error {
+	var regions []core.Region
+	var seedVals []int64
+	for _, field := range strings.Split(list, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %v", field, err)
+		}
+		region, err := buildRegion(false, s, dcs, capacity, lambda)
+		if err != nil {
+			return fmt.Errorf("seed %d: %v", s, err)
+		}
+		seedVals = append(seedVals, s)
+		regions = append(regions, region)
+	}
+	deps, err := core.PlanMany(regions, core.Options{MaxFailures: failures, Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	for i, dep := range deps {
+		fmt.Printf("=== seed %d ===\n", seedVals[i])
+		printDeployment(dep, verbose)
+		fmt.Println()
+	}
+	return nil
 }
 
 func loadRegion(path string, capacity, lambda int) (core.Region, error) {

@@ -18,6 +18,7 @@ import (
 	"iris/internal/cost"
 	"iris/internal/fibermap"
 	"iris/internal/hose"
+	"iris/internal/parallel"
 	"iris/internal/plan"
 	"iris/internal/traffic"
 )
@@ -38,6 +39,9 @@ type Options struct {
 	// Prices overrides the component catalog; zero value means the
 	// paper's §3.3 prices.
 	Prices cost.Catalog
+	// Parallelism bounds how many regions PlanMany plans concurrently:
+	// 0 means GOMAXPROCS, 1 is fully serial. Plan ignores it.
+	Parallelism int
 }
 
 // Deployment is a fully planned region: topology, capacity, optical
@@ -73,6 +77,28 @@ func Plan(region Region, opts Options) (*Deployment, error) {
 		EPS:    cost.EPS(pl, prices),
 		Hybrid: cost.Hybrid(pl, prices),
 	}, nil
+}
+
+// PlanMany plans several regions, fanning them out across
+// Options.Parallelism workers. Deployments are returned in input order
+// regardless of scheduling; planning each region is deterministic, so a
+// parallel run returns exactly what a serial one would. On failure the
+// error names the lowest-index failing region and no deployments are
+// returned.
+func PlanMany(regions []Region, opts Options) ([]*Deployment, error) {
+	deps := make([]*Deployment, len(regions))
+	err := parallel.ForEach(len(regions), opts.Parallelism, func(i int) error {
+		dep, err := Plan(regions[i], opts)
+		if err != nil {
+			return fmt.Errorf("region %d: %w", i, err)
+		}
+		deps[i] = dep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deps, nil
 }
 
 // Allocation is a fiber-granularity circuit assignment for one traffic

@@ -226,3 +226,49 @@ func TestAllocateRejectsUnplannedPair(t *testing.T) {
 		t.Errorf("err = %v, want unplanned-pair rejection", err)
 	}
 }
+
+func TestPlanManyMatchesPlan(t *testing.T) {
+	var regions []Region
+	for seed := int64(1); seed <= 3; seed++ {
+		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
+		placed, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+1, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := make(map[int]int, len(placed))
+		for _, dc := range placed {
+			caps[dc] = 8
+		}
+		regions = append(regions, Region{Map: m, Capacity: caps, Lambda: 40})
+	}
+
+	opts := Options{MaxFailures: 1, Parallelism: 3}
+	deps, err := PlanMany(regions, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != len(regions) {
+		t.Fatalf("deps = %d, want %d", len(deps), len(regions))
+	}
+	for i, region := range regions {
+		want, err := Plan(region, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deps[i] == nil || deps[i].Iris.Total() != want.Iris.Total() ||
+			deps[i].EPS.Total() != want.EPS.Total() ||
+			deps[i].Plan.TotalFiberPairs() != want.Plan.TotalFiberPairs() {
+			t.Errorf("region %d: parallel deployment differs from serial Plan", i)
+		}
+	}
+}
+
+func TestPlanManyNamesFailingRegion(t *testing.T) {
+	good, _ := toyRegion()
+	bad := good
+	bad.Lambda = -1
+	if _, err := PlanMany([]Region{good, bad}, Options{Parallelism: 2}); err == nil ||
+		!strings.Contains(err.Error(), "region 1") {
+		t.Fatalf("err = %v, want it to name region 1", err)
+	}
+}

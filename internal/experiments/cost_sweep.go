@@ -6,6 +6,8 @@ import (
 
 	"iris/internal/cost"
 	"iris/internal/fibermap"
+	"iris/internal/graph"
+	"iris/internal/parallel"
 	"iris/internal/plan"
 	"iris/internal/stats"
 )
@@ -18,6 +20,10 @@ type SweepConfig struct {
 	Fs          []int // DC capacity in fiber-pairs
 	Lambdas     []int // wavelengths per fiber
 	MaxFailures int   // failure tolerance for the Iris plan
+	// Parallelism bounds how many scenarios are planned concurrently:
+	// 0 means GOMAXPROCS, 1 is fully serial. Row order and values are
+	// identical at every setting.
+	Parallelism int
 }
 
 // PaperSweep is the full grid of §6.1: 10 maps × n∈{5,10,15,20} ×
@@ -77,49 +83,121 @@ type SweepRow struct {
 	PlanViolations int
 }
 
-// Sweep evaluates the grid. Scenario construction is deterministic in the
-// config, so two runs produce identical rows.
+// planNew is the planner entry point behind an indirection so tests can
+// count or fail invocations. It must be swapped only before Sweep runs.
+var planNew = plan.New
+
+// sweepRegion is one entry of the per-seed scenario cache: the generated
+// map with its DCs placed, and the planner's base graph whose memoised
+// shortest-path trees every (f, λ) scenario of the region shares. All
+// fields are read-only once prepared.
+type sweepRegion struct {
+	m    *fibermap.Map
+	dcs  []int
+	base *graph.Graph
+}
+
+type regionKey struct {
+	seed int64
+	n    int
+}
+
+// prepareRegions generates each fiber map once per seed — Generate
+// depends only on the seed — and places DCs on a clone per region size
+// (PlaceDCs mutates the map it is given). Seeds are prepared
+// concurrently under the sweep's parallelism bound.
+func prepareRegions(cfg SweepConfig) (map[regionKey]*sweepRegion, error) {
+	perSeed := make([]map[regionKey]*sweepRegion, len(cfg.MapSeeds))
+	err := parallel.ForEach(len(cfg.MapSeeds), cfg.Parallelism, func(i int) error {
+		seed := cfg.MapSeeds[i]
+		base := fibermap.Generate(fibermap.DefaultGenConfig(seed))
+		out := make(map[regionKey]*sweepRegion, len(cfg.Ns))
+		for _, n := range cfg.Ns {
+			m := base.Clone()
+			dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed*31+int64(n), n))
+			if err != nil {
+				return fmt.Errorf("map %d n=%d: %w", seed, n, err)
+			}
+			out[regionKey{seed, n}] = &sweepRegion{m: m, dcs: dcs, base: plan.BaseGraph(m)}
+		}
+		perSeed[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	regions := make(map[regionKey]*sweepRegion, len(cfg.MapSeeds)*len(cfg.Ns))
+	for _, out := range perSeed {
+		for k, v := range out {
+			regions[k] = v
+		}
+	}
+	return regions, nil
+}
+
+// Sweep evaluates the grid, fanning scenarios out across
+// SweepConfig.Parallelism workers. Scenario construction is deterministic
+// in the config and every result lands in its index-addressed row, so two
+// runs — at any parallelism — produce identical rows.
 func Sweep(cfg SweepConfig) ([]SweepRow, error) {
-	var rows []SweepRow
 	prices := cost.Default()
+
+	scens := make([]Scenario, 0, len(cfg.MapSeeds)*len(cfg.Ns)*len(cfg.Fs)*len(cfg.Lambdas))
 	for _, seed := range cfg.MapSeeds {
 		for _, n := range cfg.Ns {
-			base := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-			dcs, err := fibermap.PlaceDCs(base, fibermap.DefaultPlaceConfig(seed*31+int64(n), n))
-			if err != nil {
-				return nil, fmt.Errorf("map %d n=%d: %w", seed, n, err)
-			}
 			for _, f := range cfg.Fs {
-				caps := make(map[int]int, len(dcs))
-				for _, dc := range dcs {
-					caps[dc] = f
-				}
 				for _, lambda := range cfg.Lambdas {
-					in := plan.Input{Map: base, Capacity: caps, Lambda: lambda, MaxFailures: cfg.MaxFailures}
-					pl, err := plan.New(in)
-					if err != nil {
-						return nil, fmt.Errorf("map %d n=%d f=%d λ=%d: %w", seed, n, f, lambda, err)
-					}
-					in0 := in
-					in0.MaxFailures = 0
-					pl0, err := plan.New(in0)
-					if err != nil {
-						return nil, fmt.Errorf("map %d n=%d f=%d λ=%d (0 failures): %w", seed, n, f, lambda, err)
-					}
-					row := SweepRow{
-						Scenario:       Scenario{MapSeed: seed, N: n, F: f, Lambda: lambda},
-						EPS:            cost.EPS(pl, prices),
-						Iris:           cost.Iris(pl, prices),
-						Hybrid:         cost.Hybrid(pl, prices),
-						EPSNoFailures:  cost.EPS(pl0, prices),
-						SLAViolations:  len(pl.SLA),
-						PlanViolations: len(pl.Viol),
-					}
-					row.OverheadFrac = overheadFrac(pl, prices, row.Iris)
-					rows = append(rows, row)
+					scens = append(scens, Scenario{MapSeed: seed, N: n, F: f, Lambda: lambda})
 				}
 			}
 		}
+	}
+
+	regions, err := prepareRegions(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]SweepRow, len(scens))
+	err = parallel.ForEach(len(scens), cfg.Parallelism, func(i int) error {
+		sc := scens[i]
+		reg := regions[regionKey{sc.MapSeed, sc.N}]
+		caps := make(map[int]int, len(reg.dcs))
+		for _, dc := range reg.dcs {
+			caps[dc] = sc.F
+		}
+		in := plan.Input{Map: reg.m, Base: reg.base, Capacity: caps, Lambda: sc.Lambda, MaxFailures: cfg.MaxFailures}
+		pl, err := planNew(in)
+		if err != nil {
+			return fmt.Errorf("map %d n=%d f=%d λ=%d: %w", sc.MapSeed, sc.N, sc.F, sc.Lambda, err)
+		}
+		// Fig. 12d prices EPS on a 0-failure plan; when the sweep itself
+		// runs at 0 failures that plan is identical, so reuse it instead
+		// of planning the same input twice.
+		pl0 := pl
+		if cfg.MaxFailures != 0 {
+			in0 := in
+			in0.MaxFailures = 0
+			pl0, err = planNew(in0)
+			if err != nil {
+				return fmt.Errorf("map %d n=%d f=%d λ=%d (0 failures): %w", sc.MapSeed, sc.N, sc.F, sc.Lambda, err)
+			}
+		}
+		row := SweepRow{
+			Scenario:       sc,
+			EPS:            cost.EPS(pl, prices),
+			Iris:           cost.Iris(pl, prices),
+			Hybrid:         cost.Hybrid(pl, prices),
+			EPSNoFailures:  cost.EPS(pl0, prices),
+			SLAViolations:  len(pl.SLA),
+			PlanViolations: len(pl.Viol),
+		}
+		row.OverheadFrac = overheadFrac(pl, prices, row.Iris)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"iris/internal/plan"
+)
+
+// TestSweepParallelMatchesSerial is the determinism contract of the sweep
+// engine: a parallel run must return rows identical — same order, same
+// values — to a serial one. Run under -race in CI, it also exercises the
+// shared read-only region cache and the memoised shortest-path trees.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cfg := QuickSweep()
+	cfg.Parallelism = 1
+	serial, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("serial %d rows, parallel %d rows", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], par[i]) {
+			t.Fatalf("row %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestSweepPlanInvocations is the regression test for the double-planning
+// bug: with MaxFailures == 0 the 0-failure baseline is the very plan just
+// computed, so Sweep must invoke the planner exactly once per scenario
+// (and exactly twice when a separate 0-failure baseline is really needed).
+func TestSweepPlanInvocations(t *testing.T) {
+	defer func() { planNew = plan.New }()
+	var calls atomic.Int64
+	planNew = func(in plan.Input) (*plan.Plan, error) {
+		calls.Add(1)
+		return plan.New(in)
+	}
+
+	cfg := SweepConfig{
+		MapSeeds: []int64{0}, Ns: []int{5}, Fs: []int{8, 16}, Lambdas: []int{40},
+		MaxFailures: 0, Parallelism: 1,
+	}
+	rows, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := calls.Load(), int64(len(rows)); got != want {
+		t.Errorf("MaxFailures=0: planner invoked %d times for %d scenarios, want %d", got, len(rows), want)
+	}
+	for i, r := range rows {
+		if r.EPS != r.EPSNoFailures {
+			t.Errorf("row %d: EPSNoFailures differs from EPS on a 0-failure sweep", i)
+		}
+	}
+
+	calls.Store(0)
+	cfg.MaxFailures = 1
+	rows, err = Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := calls.Load(), int64(2*len(rows)); got != want {
+		t.Errorf("MaxFailures=1: planner invoked %d times for %d scenarios, want %d", got, len(rows), want)
+	}
+}
+
+// TestSweepFirstErrorWins checks errgroup-style cancellation: the error
+// reported is the serial-order first failing scenario, wrapped with its
+// grid coordinates, at any parallelism.
+func TestSweepFirstErrorWins(t *testing.T) {
+	defer func() { planNew = plan.New }()
+	sentinel := errors.New("injected planner failure")
+	planNew = func(in plan.Input) (*plan.Plan, error) {
+		if in.Lambda == 64 {
+			return nil, sentinel
+		}
+		return plan.New(in)
+	}
+
+	for _, par := range []int{1, 4} {
+		cfg := QuickSweep()
+		cfg.Parallelism = par
+		rows, err := Sweep(cfg)
+		if rows != nil {
+			t.Errorf("parallelism %d: rows returned alongside error", par)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("parallelism %d: err = %v, want wrapped sentinel", par, err)
+		}
+		// QuickSweep's serial-order first λ=64 scenario.
+		want := "map 0 n=5 f=8 λ=64"
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("parallelism %d: err = %q, want it to name %q", par, err, want)
+		}
+	}
+}

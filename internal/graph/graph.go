@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Edge is an undirected edge with a stable identity.
@@ -37,11 +38,21 @@ func (e Edge) Other(n int) int {
 
 // Graph is a weighted undirected multigraph. The zero value is an empty
 // graph with no nodes; use New to size it.
+//
+// A Graph is safe for concurrent reads (including Dijkstra, whose
+// memoised trees are published under an internal lock) once construction
+// is complete; mutating it (AddEdge) concurrently with any other use is
+// not.
 type Graph struct {
 	n     int
 	edges []Edge
 	byID  map[int]int // edge ID -> index in edges
 	adj   [][]int     // node -> indices into edges
+
+	// sptMu guards spt, the per-source memo of Dijkstra trees. Mutation
+	// (AddEdge) invalidates the whole memo.
+	sptMu sync.Mutex
+	spt   map[int]*ShortestPathTree
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -78,6 +89,10 @@ func (g *Graph) AddEdge(id, u, v int, w float64) {
 	if v != u {
 		g.adj[v] = append(g.adj[v], idx)
 	}
+	// Mutation invalidates every memoised shortest-path tree.
+	g.sptMu.Lock()
+	g.spt = nil
+	g.sptMu.Unlock()
 }
 
 // Edges returns all edges in insertion order. The slice is shared; callers
@@ -130,9 +145,50 @@ type ShortestPathTree struct {
 // broken first by hop count, then by the smaller predecessor node, then by
 // the smaller edge ID, so that path selection is fully deterministic and
 // independent of heap ordering.
+//
+// Trees are memoised per source and invalidated when the graph mutates,
+// so repeated calls from the same source — e.g. a planner re-routing the
+// same DCs across a parameter sweep — pay for one run. The returned tree
+// is shared: callers must treat it as read-only (PathTo and the other
+// accessors only read). Concurrent Dijkstra calls on one graph are safe.
 func (g *Graph) Dijkstra(source int) *ShortestPathTree {
+	g.sptMu.Lock()
+	if t, ok := g.spt[source]; ok {
+		g.sptMu.Unlock()
+		return t
+	}
+	g.sptMu.Unlock()
+
+	t := g.dijkstra(source)
+
+	g.sptMu.Lock()
+	defer g.sptMu.Unlock()
+	// Two goroutines may have raced to compute the same source; keep the
+	// published tree so every caller shares one (identical) result.
+	if prev, ok := g.spt[source]; ok {
+		return prev
+	}
+	if g.spt == nil {
+		g.spt = make(map[int]*ShortestPathTree)
+	}
+	g.spt[source] = t
+	return t
+}
+
+// dijkstra is the uncached single-source computation behind Dijkstra.
+func (g *Graph) dijkstra(source int) *ShortestPathTree {
+	t := newTree(g)
+	t.Source = source
+	t.Dist[source] = 0
+	t.Hops[source] = 0
+	pq := &distHeap{{node: source, dist: 0, hops: 0}}
+	g.settle(t, pq)
+	return t
+}
+
+func newTree(g *Graph) *ShortestPathTree {
 	t := &ShortestPathTree{
-		Source:   source,
+		Source:   -1,
 		Dist:     make([]float64, g.n),
 		Hops:     make([]int, g.n),
 		prevEdge: make([]int, g.n),
@@ -143,10 +199,39 @@ func (g *Graph) Dijkstra(source int) *ShortestPathTree {
 		t.Hops[i] = math.MaxInt
 		t.prevEdge[i] = -1
 	}
-	t.Dist[source] = 0
-	t.Hops[source] = 0
+	return t
+}
 
-	pq := &distHeap{{node: source, dist: 0, hops: 0}}
+// Seed is a starting point for DistancesFromSeeds: a node together with
+// the distance already accrued reaching it.
+type Seed struct {
+	Node int
+	Dist float64
+}
+
+// DistancesFromSeeds computes, for every node v, the minimum over seeds
+// of seed.Dist plus the shortest-path distance from seed.Node to v. It is
+// exactly the distance vector Dijkstra would report from a virtual source
+// attached to each seed node by an edge of the seed's length — the
+// relaxation arithmetic and tie-breaking match, so results are bitwise
+// identical — without materialising the extended graph. Results are not
+// memoised: seed weights vary per call.
+func (g *Graph) DistancesFromSeeds(seeds []Seed) []float64 {
+	t := newTree(g)
+	pq := &distHeap{}
+	for _, s := range seeds {
+		if better(s.Dist, 0, -1, -1, t.Dist[s.Node], t.Hops[s.Node], t.prev(s.Node), t.prevID(s.Node)) {
+			t.Dist[s.Node] = s.Dist
+			t.Hops[s.Node] = 0
+			heap.Push(pq, distItem{node: s.Node, dist: s.Dist, hops: 0})
+		}
+	}
+	g.settle(t, pq)
+	return t.Dist
+}
+
+// settle runs the Dijkstra main loop over an initialised tree and heap.
+func (g *Graph) settle(t *ShortestPathTree, pq *distHeap) {
 	done := make([]bool, g.n)
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(distItem)
@@ -171,7 +256,6 @@ func (g *Graph) Dijkstra(source int) *ShortestPathTree {
 			}
 		}
 	}
-	return t
 }
 
 func (t *ShortestPathTree) prev(v int) int {

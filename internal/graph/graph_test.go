@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -287,6 +288,114 @@ func TestFailureScenariosMatchesCount(t *testing.T) {
 		FailureScenarios(ids, k, func(map[int]bool) { n++ })
 		if want := CountFailureScenarios(len(ids), k); n != want {
 			t.Errorf("k=%d: enumerated %d scenarios, want %d", k, n, want)
+		}
+	}
+}
+
+func TestDijkstraMemoisedAndInvalidated(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 0, 1, 1)
+	g.AddEdge(1, 1, 2, 1)
+	g.AddEdge(2, 2, 3, 1)
+
+	t1 := g.Dijkstra(0)
+	if t2 := g.Dijkstra(0); t2 != t1 {
+		t.Error("repeated Dijkstra from one source should return the memoised tree")
+	}
+	if t1.Dist[3] != 3 {
+		t.Fatalf("Dist[3] = %v, want 3", t1.Dist[3])
+	}
+
+	// Mutation must invalidate the memo: the shortcut changes the answer.
+	g.AddEdge(3, 0, 3, 1)
+	t3 := g.Dijkstra(0)
+	if t3 == t1 {
+		t.Error("AddEdge did not invalidate the shortest-path memo")
+	}
+	if t3.Dist[3] != 1 {
+		t.Errorf("Dist[3] after shortcut = %v, want 1", t3.Dist[3])
+	}
+}
+
+func TestDijkstraConcurrentSharedGraph(t *testing.T) {
+	g := New(50)
+	id := 0
+	for i := 0; i < 49; i++ {
+		g.AddEdge(id, i, i+1, float64(1+i%3))
+		id++
+	}
+	for i := 0; i < 40; i += 5 {
+		g.AddEdge(id, i, i+7, 2.5)
+		id++
+	}
+
+	want := g.dijkstra(0).Dist // uncached oracle
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < 10; s++ {
+				tr := g.Dijkstra(s % 3)
+				if s%3 == 0 {
+					for v, d := range tr.Dist {
+						if d != want[v] {
+							t.Errorf("concurrent Dijkstra: Dist[%d] = %v, want %v", v, d, want[v])
+							return
+						}
+					}
+				}
+				if _, _, ok := tr.PathTo(49); !ok {
+					t.Error("PathTo(49) unreachable on a connected graph")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDistancesFromSeedsMatchesVirtualSource checks the exact-equivalence
+// contract of DistancesFromSeeds: seeding nodes h with weights w must
+// reproduce, bit for bit, the distances Dijkstra reports from an extra
+// source node attached to each h by an edge of length w.
+func TestDistancesFromSeedsMatchesVirtualSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(12)
+		g := New(n)
+		ext := New(n + 1) // same graph plus the virtual source at node n
+		id := 0
+		for i := 1; i < n; i++ { // random connected multigraph
+			j := rng.Intn(i)
+			w := 1 + 10*rng.Float64()
+			g.AddEdge(id, i, j, w)
+			ext.AddEdge(id, i, j, w)
+			id++
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := 1 + 10*rng.Float64()
+			g.AddEdge(id, u, v, w)
+			ext.AddEdge(id, u, v, w)
+			id++
+		}
+
+		h1 := rng.Intn(n)
+		h2 := (h1 + 1 + rng.Intn(n-1)) % n
+		w1, w2 := 5*rng.Float64(), 5*rng.Float64()
+		ext.AddEdge(id, n, h1, w1)
+		ext.AddEdge(id+1, n, h2, w2)
+
+		want := ext.Dijkstra(n).Dist[:n]
+		got := g.DistancesFromSeeds([]Seed{{Node: h1, Dist: w1}, {Node: h2, Dist: w2}})
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: dist[%d] = %v, virtual-source Dijkstra gives %v", trial, v, got[v], want[v])
+			}
 		}
 	}
 }

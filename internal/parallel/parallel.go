@@ -1,0 +1,100 @@
+// Package parallel provides the bounded-concurrency execution primitive
+// the experiment sweeps and bulk planning APIs are built on: a worker
+// pool over an index space with deterministic result placement. Callers
+// write result i into slot i of a pre-sized slice, so the output order is
+// independent of goroutine scheduling and a parallel run produces rows
+// identical to a serial one.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach calls fn(i) for i in [0, n) using at most workers goroutines.
+//
+// workers <= 0 means GOMAXPROCS; workers == 1 runs fn serially on the
+// calling goroutine in index order, with no goroutines spawned.
+//
+// On error the pool stops handing out new indices (errgroup-style
+// first-error-wins cancellation: in-flight calls finish, pending ones
+// never start) and ForEach returns the error with the lowest index among
+// those observed — so for a fully serial run it is exactly the first
+// error, and for a parallel run it is deterministic whenever errors are a
+// function of the input index alone. A panic in fn is re-raised on the
+// calling goroutine after the remaining workers drain.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64 // next index to hand out, minus one
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		panicked any
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				err := protect(fn, i, &mu, &panicked, &stopped)
+				if err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// protect runs fn(i), converting a panic into a recorded panic value and
+// a pool stop so the caller can re-raise it after the workers drain.
+func protect(fn func(int) error, i int, mu *sync.Mutex, panicked *any, stopped *atomic.Bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mu.Lock()
+			if *panicked == nil {
+				*panicked = r
+			}
+			mu.Unlock()
+			stopped.Store(true)
+		}
+	}()
+	return fn(i)
+}

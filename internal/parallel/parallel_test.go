@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 50
+		hits := make([]atomic.Int64, n)
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	for _, n := range []int{0, -3} {
+		if err := ForEach(n, 4, func(int) error { called = true; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if called {
+		t.Fatal("fn called for empty index space")
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	if err := ForEach(10, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("boom %d", i) }
+	for _, workers := range []int{1, 4} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 7 || i == 63 {
+				return boom(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 7" {
+			t.Fatalf("workers=%d: err = %v, want boom 7", workers, err)
+		}
+	}
+}
+
+func TestForEachCancelsPendingWork(t *testing.T) {
+	var calls atomic.Int64
+	sentinel := errors.New("stop")
+	err := ForEach(1_000_000, 2, func(i int) error {
+		calls.Add(1)
+		if i >= 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got >= 1_000_000 {
+		t.Fatalf("no cancellation: %d calls", got)
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+			}()
+			_ = ForEach(20, workers, func(i int) error {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}

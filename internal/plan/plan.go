@@ -49,6 +49,14 @@ type Input struct {
 	// model, with two hubs in practice). Empty means distributed
 	// shortest-path routing (OC3).
 	ViaHubs []int
+	// Base optionally supplies the usable-duct graph of Map, as built by
+	// BaseGraph. Sharing one Base across several plan calls on the same
+	// map (e.g. a sweep over capacities and wavelengths, or the paired
+	// k-failure/0-failure plans of the cost evaluation) lets the graph's
+	// memoised shortest-path trees be computed once instead of per call.
+	// Nil means the planner builds its own. The graph must not be mutated
+	// while shared.
+	Base *graph.Graph
 }
 
 // Validate reports the first problem with the input.
@@ -86,7 +94,26 @@ func (in Input) Validate() error {
 			return fmt.Errorf("plan: hub node %d is not a hut", h)
 		}
 	}
+	if in.Base != nil && in.Base.NumNodes() != len(in.Map.Nodes) {
+		return fmt.Errorf("plan: base graph has %d nodes, map has %d",
+			in.Base.NumNodes(), len(in.Map.Nodes))
+	}
 	return nil
+}
+
+// BaseGraph builds the planner's working graph for a fiber map: every
+// duct short enough to be used point-to-point (§4.1 excludes ducts beyond
+// the unamplified span limit outright), with duct IDs as edge IDs. Pass
+// the result as Input.Base to share it — and its memoised shortest-path
+// trees — across plan calls on the same map.
+func BaseGraph(m *fibermap.Map) *graph.Graph {
+	g := graph.New(len(m.Nodes))
+	for _, d := range m.Ducts {
+		if d.FiberKM <= optics.MaxSpanKM {
+			g.AddEdge(d.ID, d.A, d.B, d.FiberKM)
+		}
+	}
+	return g
 }
 
 // DuctUse is the provisioning decision for one fiber duct.
@@ -204,13 +231,9 @@ func (p *planner) run() (*Plan, error) {
 		p.caps[dc] = float64(p.in.Capacity[dc])
 	}
 
-	// §4.1: ducts longer than the unamplified span limit can never be used
-	// point-to-point and are excluded outright.
-	p.base = graph.New(len(m.Nodes))
-	for _, d := range m.Ducts {
-		if d.FiberKM <= optics.MaxSpanKM {
-			p.base.AddEdge(d.ID, d.A, d.B, d.FiberKM)
-		}
+	p.base = p.in.Base
+	if p.base == nil {
+		p.base = BaseGraph(m)
 	}
 
 	p.plan = &Plan{
