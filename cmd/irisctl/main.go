@@ -21,7 +21,6 @@ import (
 	"iris/internal/control"
 	"iris/internal/core"
 	"iris/internal/fabric"
-	"iris/internal/fibermap"
 	"iris/internal/hose"
 	"iris/internal/optics"
 	"iris/internal/traffic"
@@ -40,26 +39,19 @@ func main() {
 	)
 	flag.Parse()
 
-	dep, err := buildDeployment(*toy, *seed, *dcs)
+	rig, err := fabric.BringUp(fabric.BringUpConfig{
+		Toy: *toy, Seed: *seed, DCs: *dcs, OSSDelay: *ossDelay,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fab, err := fabric.Build(dep)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	devices := fab.Devices(*ossDelay)
-	tb, err := control.StartTestbed(devices)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer tb.Close()
+	defer rig.Close()
+	dep, fab, tb := rig.Dep, rig.Fab, rig.Testbed
 
 	m := dep.Region.Map
 	fmt.Printf("planned region: %d DCs, %d huts used, %d fiber-pairs\n",
 		len(m.DCs()), len(dep.Plan.UsedHuts()), dep.Plan.TotalFiberPairs())
-	fmt.Printf("fabric up: %d devices on loopback TCP\n", len(devices))
+	fmt.Printf("fabric up: %d devices on loopback TCP\n", len(tb.Controller.Devices()))
 	for _, name := range tb.Controller.Devices() {
 		res, err := tb.Controller.Call(name, "ping", nil)
 		if err != nil {
@@ -100,23 +92,6 @@ func main() {
 		log.Fatalf("audit FAILED: %v", err)
 	}
 	fmt.Printf("audit OK: %d active circuits match intent\n", fab.CircuitCount())
-}
-
-func buildDeployment(toy bool, seed int64, dcs int) (*core.Deployment, error) {
-	var m *fibermap.Map
-	if toy {
-		m = fibermap.Toy().Map
-	} else {
-		m = fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		if _, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, dcs)); err != nil {
-			return nil, err
-		}
-	}
-	caps := make(map[int]int)
-	for _, dc := range m.DCs() {
-		caps[dc] = 10
-	}
-	return core.Plan(core.Region{Map: m, Capacity: caps, Lambda: 40}, core.Options{})
 }
 
 func executeTarget(tb *control.Testbed, fab *fabric.Fabric, alloc core.Allocation) {

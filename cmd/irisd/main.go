@@ -1,0 +1,118 @@
+// Command irisd is the long-running Iris regional control-plane daemon
+// (§5 run continuously): it plans a region, materialises it into emulated
+// optical devices, then keeps the region converged as demand shifts —
+// executing drained reconfigurations, probing device health, quarantining
+// flapping devices behind a circuit breaker, and reconciling partially
+// applied changes once devices heal. Observability is served over HTTP:
+// /metrics (Prometheus text format), /status (JSON) and /healthz.
+//
+// Usage:
+//
+//	irisd [-toy] [-seed N] [-dcs N] [-oss-delay 20ms]
+//	      [-listen 127.0.0.1:9090] [-interval 2s] [-probe-interval 1s]
+//	      [-steps N] [-shift-bound 0.4] [-util 0.7]
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: an in-flight
+// reconfiguration finishes its drained sequence, the HTTP server closes,
+// then the testbed is torn down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"math/rand"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iris/internal/control"
+	"iris/internal/daemon"
+	"iris/internal/fabric"
+	"iris/internal/optics"
+	"iris/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix("irisd: ")
+
+	var (
+		toy      = flag.Bool("toy", true, "use the paper's Fig. 10 toy region")
+		seed     = flag.Int64("seed", 1, "generator seed when not using the toy, and traffic seed")
+		dcs      = flag.Int("dcs", 5, "DCs to place when not using the toy")
+		ossDelay = flag.Duration("oss-delay", time.Duration(optics.OSSSwitchTimeMS)*time.Millisecond,
+			"emulated OSS switching time")
+		listen        = flag.String("listen", "127.0.0.1:9090", "metrics/status HTTP listen address")
+		interval      = flag.Duration("interval", 2*time.Second, "traffic-step cadence")
+		probeInterval = flag.Duration("probe-interval", time.Second, "device health-probe cadence")
+		steps         = flag.Int("steps", 0, "exit after this many traffic steps (0 = run forever)")
+		shiftBound    = flag.Float64("shift-bound", 0.4, "max fractional per-pair demand change per step (≤0 = pair swaps)")
+		util          = flag.Float64("util", 0.7, "target hose utilisation of the traffic process")
+		rpcTimeout    = flag.Duration("rpc-timeout", control.DefaultRPCTimeout, "per-device RPC deadline")
+	)
+	flag.Parse()
+
+	rig, err := fabric.BringUp(fabric.BringUpConfig{
+		Toy: *toy, Seed: *seed, DCs: *dcs,
+		OSSDelay: *ossDelay,
+		Dial:     control.DialOptions{RPCTimeout: *rpcTimeout},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rig.Close()
+	m := rig.Dep.Region.Map
+	log.Printf("region up: %d DCs, %d devices, %d fiber-pairs planned",
+		len(m.DCs()), len(rig.Testbed.Controller.Devices()), rig.Dep.Plan.TotalFiberPairs())
+
+	// Traffic: a heavy-tailed base matrix evolved by the §6.3 change
+	// process, in wavelength units against each DC's hose capacity.
+	caps := make(map[int]float64)
+	for dc, c := range rig.Dep.Region.Capacity {
+		caps[dc] = float64(c * rig.Dep.Region.Lambda)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	base := traffic.HeavyTailed(rng, m.DCs(), caps, *util)
+	var feed traffic.Source = traffic.NewEvolver(*seed+1, base,
+		traffic.ChangeProcess{Bound: *shiftBound, Caps: caps, Util: *util})
+	if *steps > 0 {
+		feed = traffic.Limit(feed, *steps)
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Fab:           rig.Fab,
+		Controller:    rig.Testbed.Controller,
+		Feed:          feed,
+		Interval:      *interval,
+		ProbeInterval: *probeInterval,
+		Seed:          *seed,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
+	go func() {
+		log.Printf("serving /metrics /status /healthz on http://%s", *listen)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := d.Run(ctx); err != nil {
+		log.Printf("run: %v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("bye: %d steps served", d.Status().Steps)
+}

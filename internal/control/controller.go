@@ -24,16 +24,29 @@ type Controller struct {
 	devices map[string]*Client
 }
 
-// Dial connects to all device agents. On any failure it closes the
-// connections already made and returns the error.
+// DialOptions configures the controller's per-device transports. Zero
+// values select the package defaults.
+type DialOptions struct {
+	DialTimeout time.Duration // connection establishment bound
+	RPCTimeout  time.Duration // end-to-end bound per device call
+}
+
+// Dial connects to all device agents with default transport deadlines. On
+// any failure it closes the connections already made and returns the error.
 func Dial(specs []DeviceSpec) (*Controller, error) {
+	return DialWithOptions(specs, DialOptions{})
+}
+
+// DialWithOptions connects to all device agents with explicit transport
+// deadlines.
+func DialWithOptions(specs []DeviceSpec, opts DialOptions) (*Controller, error) {
 	c := &Controller{devices: make(map[string]*Client, len(specs))}
 	for _, s := range specs {
 		if _, dup := c.devices[s.Name]; dup {
 			c.Close()
 			return nil, fmt.Errorf("control: duplicate device name %q", s.Name)
 		}
-		cl, err := DialDevice(s.Addr)
+		cl, err := DialDeviceTimeout(s.Addr, opts.DialTimeout, opts.RPCTimeout)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -42,6 +55,19 @@ func Dial(specs []DeviceSpec) (*Controller, error) {
 	}
 	return c, nil
 }
+
+// DeviceError tags an error with the device whose call produced it, so a
+// supervisor (the irisd breaker) can attribute failures to the right
+// device. Use errors.As to recover it from wrapped phase errors.
+type DeviceError struct {
+	Device string
+	Err    error
+}
+
+func (e *DeviceError) Error() string { return fmt.Sprintf("device %s: %v", e.Device, e.Err) }
+
+// Unwrap exposes the underlying transport or device error.
+func (e *DeviceError) Unwrap() error { return e.Err }
 
 // Close tears down all device connections.
 func (c *Controller) Close() {
@@ -61,7 +87,11 @@ func (c *Controller) Call(device, op string, args map[string]any) (map[string]an
 	if !ok {
 		return nil, fmt.Errorf("control: unknown device %q", device)
 	}
-	return cl.Call(op, args)
+	res, err := cl.Call(op, args)
+	if err != nil {
+		return nil, &DeviceError{Device: device, Err: err}
+	}
+	return res, nil
 }
 
 // Devices returns the connected device names in sorted order.

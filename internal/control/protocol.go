@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Request is one controller-to-device command.
@@ -134,47 +135,123 @@ func handleCommon(dev Device, op string, args map[string]any) (map[string]any, e
 	}
 }
 
-// Client is a connection to one device agent. It serialises calls; a
-// single TCP connection carries the whole exchange.
+// Default transport deadlines. A hardware agent that neither accepts nor
+// answers must not wedge the controller (§5.2 budgets a reconfiguration in
+// tens of milliseconds; seconds means the device is gone).
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultRPCTimeout  = 30 * time.Second
+)
+
+// Client is a connection to one device agent. It serialises calls; one TCP
+// connection carries the exchange, and a connection that times out or
+// desynchronises is discarded and transparently redialled on the next
+// call, so a device that heals becomes reachable again without rebuilding
+// the controller.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *json.Encoder
-	sc     *bufio.Scanner
-	nextID int64
+	mu          sync.Mutex
+	addr        string
+	dialTimeout time.Duration
+	rpcTimeout  time.Duration
+	conn        net.Conn
+	enc         *json.Encoder
+	sc          *bufio.Scanner
+	nextID      int64
+	broken      bool
+	closed      bool
 }
 
-// DialDevice connects to a device agent.
+// DialDevice connects to a device agent with the default deadlines.
 func DialDevice(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialDeviceTimeout(addr, DefaultDialTimeout, DefaultRPCTimeout)
+}
+
+// DialDeviceTimeout connects to a device agent with explicit deadlines.
+// dialTimeout bounds connection establishment (and re-establishment);
+// rpcTimeout bounds each Call end to end. Zero values select the defaults;
+// negative values disable the corresponding deadline.
+func DialDeviceTimeout(addr string, dialTimeout, rpcTimeout time.Duration) (*Client, error) {
+	if dialTimeout == 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	if rpcTimeout == 0 {
+		rpcTimeout = DefaultRPCTimeout
+	}
+	c := &Client{addr: addr, dialTimeout: dialTimeout, rpcTimeout: rpcTimeout}
+	if err := c.redialLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redialLocked (re)establishes the transport. Callers hold c.mu, except
+// from DialDeviceTimeout where the client is not yet shared.
+func (c *Client) redialLocked() error {
+	var conn net.Conn
+	var err error
+	if c.dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+		return fmt.Errorf("control: dial %s: %w", c.addr, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+	c.conn, c.enc, c.sc = conn, json.NewEncoder(conn), sc
+	c.broken = false
+	return nil
 }
 
-// Call sends one operation and waits for its response.
+// failLocked poisons the transport: a timed-out or desynchronised
+// connection may still deliver a stale response later, which would corrupt
+// the framing of the next call, so it is closed and replaced lazily.
+func (c *Client) failLocked() {
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// Call sends one operation and waits for its response, bounded by the
+// client's RPC deadline.
 func (c *Client) Call(op string, args map[string]any) (map[string]any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("control: client for %s is closed", c.addr)
+	}
+	if c.broken || c.conn == nil {
+		if err := c.redialLocked(); err != nil {
+			return nil, err
+		}
+	}
 	c.nextID++
 	req := Request{ID: c.nextID, Op: op, Args: args}
+	if c.rpcTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.rpcTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.failLocked()
 		return nil, fmt.Errorf("control: send %s: %w", op, err)
 	}
 	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
+		err := c.sc.Err()
+		c.failLocked()
+		if err != nil {
 			return nil, fmt.Errorf("control: recv %s: %w", op, err)
 		}
 		return nil, fmt.Errorf("control: connection closed during %s", op)
 	}
 	var resp Response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		c.failLocked()
 		return nil, fmt.Errorf("control: decode response to %s: %w", op, err)
 	}
 	if resp.ID != req.ID {
+		c.failLocked()
 		return nil, fmt.Errorf("control: response ID %d for request %d", resp.ID, req.ID)
 	}
 	if !resp.OK {
@@ -183,8 +260,17 @@ func (c *Client) Call(op string, args map[string]any) (map[string]any, error) {
 	return resp.Result, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the connection permanently; subsequent calls fail
+// rather than redial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // Argument decoding helpers: JSON numbers arrive as float64.
 

@@ -24,8 +24,16 @@ type Testbed struct {
 }
 
 // StartTestbed serves each named device on its own ephemeral loopback
-// listener and dials a controller to all of them.
+// listener and dials a controller to all of them, with default transport
+// deadlines.
 func StartTestbed(devices map[string]Device) (*Testbed, error) {
+	return StartTestbedWithOptions(devices, DialOptions{})
+}
+
+// StartTestbedWithOptions is StartTestbed with explicit controller
+// transport deadlines (tests use short RPC timeouts to exercise hung
+// devices quickly).
+func StartTestbedWithOptions(devices map[string]Device, opts DialOptions) (*Testbed, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	tb := &Testbed{Devices: devices, cancel: cancel}
 
@@ -54,7 +62,7 @@ func StartTestbed(devices map[string]Device) (*Testbed, error) {
 		}(l, dev)
 	}
 
-	ctl, err := Dial(specs)
+	ctl, err := DialWithOptions(specs, opts)
 	if err != nil {
 		tb.Close()
 		return nil, err

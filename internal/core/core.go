@@ -120,6 +120,28 @@ func (a Allocation) FibersFor(p hose.Pair) int { return a.Fibers[p.Canonical()] 
 // ResidualFor returns the residual wavelengths for a pair.
 func (a Allocation) ResidualFor(p hose.Pair) int { return a.Residual[p.Canonical()] }
 
+// Equal reports whether two allocations assign the same fibers and
+// residual wavelengths to every pair, treating absent entries as zero. The
+// daemon uses it to skip no-op reconfigurations when a traffic step leaves
+// the circuit assignment unchanged.
+func (a Allocation) Equal(b Allocation) bool {
+	return intMapsEqual(a.Fibers, b.Fibers) && intMapsEqual(a.Residual, b.Residual)
+}
+
+func intMapsEqual(x, y map[hose.Pair]int) bool {
+	for p, v := range x {
+		if y[p] != v {
+			return false
+		}
+	}
+	for p, v := range y {
+		if x[p] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Allocate converts a demand matrix (in wavelengths per DC pair) into a
 // circuit assignment, validating that demands respect the hose model and
 // that the provisioned duct capacities can carry the assignment.

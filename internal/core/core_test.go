@@ -272,3 +272,29 @@ func TestPlanManyNamesFailingRegion(t *testing.T) {
 		t.Fatalf("err = %v, want it to name region 1", err)
 	}
 }
+
+func TestAllocationEqual(t *testing.T) {
+	p := hose.Pair{A: 1, B: 2}
+	q := hose.Pair{A: 1, B: 3}
+	a := Allocation{
+		Fibers:   map[hose.Pair]int{p: 2},
+		Residual: map[hose.Pair]int{q: 7},
+	}
+	b := Allocation{
+		// An explicit zero entry is the same as an absent one.
+		Fibers:   map[hose.Pair]int{p: 2, q: 0},
+		Residual: map[hose.Pair]int{q: 7},
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Errorf("allocations with equivalent entries compare unequal")
+	}
+	b.Fibers[q] = 1
+	if a.Equal(b) {
+		t.Errorf("allocations with different fibers compare equal")
+	}
+	delete(b.Fibers, q)
+	b.Residual[p] = 3
+	if a.Equal(b) {
+		t.Errorf("allocations with different residuals compare equal")
+	}
+}

@@ -1,0 +1,458 @@
+// Package daemon implements irisd, the long-running regional control
+// plane the paper's §5 controller implies but the one-shot irisctl demo
+// does not provide. The daemon owns a materialised fabric and its
+// controller and keeps the region converged as demand shifts:
+//
+//   - it ingests a traffic-matrix feed (internal/traffic.Source, stepping
+//     like the §6.3 change process),
+//   - computes the incremental circuit change each shift requires,
+//   - executes it as a §5.2 drained reconfiguration
+//     (drain → switch → amps → retune → undrain) against the device agents,
+//   - audits device state against intent after every change,
+//   - supervises device health with periodic probes, per-device
+//     exponential backoff with jitter, and a circuit breaker that
+//     quarantines flapping devices,
+//   - and degrades to the last-known-good allocation instead of crashing
+//     when a device fails mid-reconfiguration, re-converging through a
+//     reconciliation pass once the device heals.
+//
+// Reconfigurations are transactional against the fabric bookkeeping: each
+// change is compiled on a clone of the fabric and the clone is committed
+// only after the devices accepted every phase, so a failure leaves the
+// daemon holding the last-known-good intent.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"iris/internal/control"
+	"iris/internal/core"
+	"iris/internal/fabric"
+	"iris/internal/telemetry"
+	"iris/internal/traffic"
+)
+
+// Config parameterises a Daemon. Fab, Controller and Feed are required;
+// zero durations and counts select the defaults.
+type Config struct {
+	Fab        *fabric.Fabric
+	Controller *control.Controller
+	Feed       traffic.Source
+
+	// Interval is the control-loop cadence: how often the daemon takes the
+	// next traffic matrix and converges on it (default 2s).
+	Interval time.Duration
+	// ProbeInterval is the device health-probe cadence (default 1s).
+	ProbeInterval time.Duration
+	// FailureThreshold is the consecutive failures (probe or attributed
+	// reconfiguration errors) that trip a device's breaker (default 3).
+	FailureThreshold int
+	// BackoffBase and BackoffMax bound the breaker's exponential cooldown
+	// (defaults 500ms and 30s). Each re-trip doubles the cooldown; the
+	// actual quarantine is jittered in [cooldown/2, cooldown].
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Seed seeds the jitter source (deterministic tests).
+	Seed int64
+	// Registry receives the daemon's metrics (a fresh one if nil).
+	Registry *telemetry.Registry
+	// Now is the clock (time.Now if nil; tests inject a fake).
+	Now func() time.Time
+	// Logf, when set, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is the regional control loop. Construct with New, drive with Run
+// (or Step/ProbeOnce directly in tests), observe via Handler/Status.
+type Daemon struct {
+	cfg  Config
+	ctl  *control.Controller
+	feed traffic.Source
+	reg  *telemetry.Registry
+	now  func() time.Time
+	logf func(format string, args ...any)
+
+	// mu guards the control-loop state below. The fabric pointed to by fab
+	// is never mutated while installed — changes are compiled on clones —
+	// so holding mu only for pointer reads/swaps keeps /status responsive
+	// during slow reconfigurations.
+	mu          sync.Mutex
+	fab         *fabric.Fabric
+	lkg         core.Allocation // last-known-good allocation
+	haveLKG     bool
+	pending     *traffic.Matrix // shift taken from the feed, not yet applied
+	needRepair  bool            // devices may have diverged from intent
+	steps       int
+	lastErr     string
+	lastAuditAt time.Time
+	lastAuditOK bool
+	lastGoodAt  time.Time // last successful convergence
+
+	// hmu guards per-device breaker state and the jitter source.
+	hmu    sync.Mutex
+	health map[string]*deviceHealth
+	rng    *rand.Rand
+
+	m metricsSet
+}
+
+type metricsSet struct {
+	steps             *telemetry.Counter
+	skips             *telemetry.Counter
+	reconfigs         *telemetry.Counter
+	reconfigFailures  *telemetry.Counter
+	reconfigOps       *telemetry.Counter
+	reconfigSeconds   *telemetry.Histogram
+	phaseSeconds      *telemetry.HistogramVec
+	allocFailures     *telemetry.Counter
+	audits            *telemetry.Counter
+	auditFailures     *telemetry.Counter
+	reconciles        *telemetry.Counter
+	reconcileFailures *telemetry.Counter
+	probes            *telemetry.Counter
+	probeFailures     *telemetry.CounterVec
+	breakerTrips      *telemetry.CounterVec
+	breakerState      *telemetry.GaugeVec
+	staleness         *telemetry.Gauge
+	circuits          *telemetry.Gauge
+}
+
+// latencyBuckets cover sub-millisecond emulated phases up to multi-second
+// hardware settling.
+var latencyBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// New validates the configuration and prepares a daemon. The first
+// convergence happens on the first Step (or Run tick).
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Fab == nil || cfg.Controller == nil || cfg.Feed == nil {
+		return nil, fmt.Errorf("daemon: Fab, Controller and Feed are required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 500 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	d := &Daemon{
+		cfg:  cfg,
+		ctl:  cfg.Controller,
+		feed: cfg.Feed,
+		reg:  cfg.Registry,
+		now:  cfg.Now,
+		logf: cfg.Logf,
+		fab:  cfg.Fab,
+	}
+	if d.reg == nil {
+		d.reg = telemetry.NewRegistry()
+	}
+	if d.now == nil {
+		d.now = time.Now
+	}
+	if d.logf == nil {
+		d.logf = func(string, ...any) {}
+	}
+	d.rng = rand.New(rand.NewSource(cfg.Seed))
+	d.health = make(map[string]*deviceHealth)
+	d.initMetrics()
+	for _, name := range d.ctl.Devices() {
+		d.health[name] = &deviceHealth{}
+		d.m.breakerState.With(name).Set(0)
+	}
+	return d, nil
+}
+
+func (d *Daemon) initMetrics() {
+	r := d.reg
+	d.m.steps = r.Counter("iris_daemon_steps_total", "Control-loop iterations.")
+	d.m.skips = r.Counter("iris_daemon_skipped_steps_total", "Iterations skipped because a breaker was open (region held on last-known-good allocation).")
+	d.m.reconfigs = r.Counter("iris_reconfig_total", "Successful drained reconfigurations.")
+	d.m.reconfigFailures = r.Counter("iris_reconfig_failures_total", "Reconfigurations aborted by a device failure.")
+	d.m.reconfigOps = r.Counter("iris_reconfig_ops_total", "Device operations executed by successful reconfigurations.")
+	d.m.reconfigSeconds = r.Histogram("iris_reconfig_seconds", "End-to-end reconfiguration latency.", latencyBuckets)
+	d.m.phaseSeconds = r.HistogramVec("iris_reconfig_phase_seconds", "Per-phase reconfiguration latency (drain, switch, amps, retune, fill, undrain).", "phase", latencyBuckets)
+	d.m.allocFailures = r.Counter("iris_allocation_failures_total", "Traffic matrices rejected as unallocatable.")
+	d.m.audits = r.Counter("iris_audit_total", "Device-state audits executed.")
+	d.m.auditFailures = r.Counter("iris_audit_failures_total", "Audits that found devices diverged from intent.")
+	d.m.reconciles = r.Counter("iris_reconcile_total", "Reconciliation repairs executed after partial failures.")
+	d.m.reconcileFailures = r.Counter("iris_reconcile_failures_total", "Reconciliation repairs that themselves failed.")
+	d.m.probes = r.Counter("iris_probe_total", "Device health probes sent.")
+	d.m.probeFailures = r.CounterVec("iris_probe_failures_total", "Failed device health probes.", "device")
+	d.m.breakerTrips = r.CounterVec("iris_breaker_trips_total", "Circuit-breaker trips.", "device")
+	d.m.breakerState = r.GaugeVec("iris_breaker_state", "Breaker state per device: 0 closed, 1 half-open, 2 open.", "device")
+	d.m.staleness = r.Gauge("iris_allocation_staleness_seconds", "Age of the last successful convergence.")
+	d.m.circuits = r.Gauge("iris_circuits_active", "Active circuits (full + residual).")
+}
+
+// Registry returns the daemon's metrics registry.
+func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
+
+// Run drives the control loop until ctx is cancelled or the traffic feed
+// is exhausted. Cancellation is graceful: an in-flight reconfiguration
+// finishes its drained sequence before Run returns, so devices are never
+// abandoned mid-phase.
+func (d *Daemon) Run(ctx context.Context) error {
+	stepTick := time.NewTicker(d.cfg.Interval)
+	defer stepTick.Stop()
+	probeTick := time.NewTicker(d.cfg.ProbeInterval)
+	defer probeTick.Stop()
+
+	// Converge on the feed's first matrix immediately.
+	d.ProbeOnce()
+	if d.Step() {
+		return nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			d.logf("shutdown: control loop drained")
+			return nil
+		case <-stepTick.C:
+			if d.Step() {
+				d.logf("traffic feed exhausted; exiting")
+				return nil
+			}
+		case <-probeTick.C:
+			d.ProbeOnce()
+		}
+	}
+}
+
+// Step runs one control-loop iteration: repair if needed, take the next
+// traffic shift, converge on it. It returns true when the feed is
+// exhausted and the loop should exit. Run calls it on the interval; tests
+// call it directly for determinism.
+func (d *Daemon) Step() (done bool) {
+	d.m.steps.Inc()
+	d.mu.Lock()
+	d.steps++
+	d.mu.Unlock()
+	defer d.updateStaleness()
+
+	if !d.Healthy() {
+		d.m.skips.Inc()
+		d.setErr("degraded: breaker open, holding last-known-good allocation")
+		return false
+	}
+	if d.repairNeeded() {
+		if err := d.repair(); err != nil {
+			d.setErr(err.Error())
+			return false
+		}
+	}
+
+	d.mu.Lock()
+	pending := d.pending
+	d.mu.Unlock()
+	if pending == nil {
+		m, ok := d.feed.Next()
+		if !ok {
+			return true
+		}
+		d.mu.Lock()
+		d.pending = m
+		pending = m
+		d.mu.Unlock()
+	}
+	if err := d.converge(pending); err != nil {
+		d.setErr(err.Error())
+		d.logf("step: %v", err)
+		return false
+	}
+	d.setErr("")
+	return false
+}
+
+// converge allocates circuits for the matrix and executes the change that
+// moves the devices there, transactionally against a fabric clone.
+func (d *Daemon) converge(tm *traffic.Matrix) error {
+	d.mu.Lock()
+	fab, lkg, haveLKG := d.fab, d.lkg, d.haveLKG
+	d.mu.Unlock()
+
+	alloc, err := fab.Deployment().Allocate(tm)
+	if err != nil {
+		// The demand is infeasible for the planned region: drop the shift
+		// and keep serving the last-known-good allocation.
+		d.m.allocFailures.Inc()
+		d.dropPending()
+		return fmt.Errorf("allocate: %w", err)
+	}
+	if haveLKG && alloc.Equal(lkg) {
+		d.mu.Lock()
+		d.pending = nil
+		d.lastGoodAt = d.now()
+		d.mu.Unlock()
+		return nil
+	}
+
+	clone := fab.Clone()
+	ch, err := clone.CompileTarget(alloc)
+	if err != nil {
+		d.dropPending()
+		return fmt.Errorf("compile: %w", err)
+	}
+	rep, err := d.ctl.Reconfigure(context.Background(), ch)
+	if err != nil {
+		// The devices may be partially reconfigured; keep the old fabric
+		// as intent (the clone is discarded), penalise the culprit, and
+		// reconcile once the region is healthy again.
+		d.m.reconfigFailures.Inc()
+		d.penalize(err)
+		d.mu.Lock()
+		d.needRepair = true
+		d.mu.Unlock()
+		return fmt.Errorf("reconfigure: %w", err)
+	}
+	ops := 0
+	for _, p := range rep.Phases {
+		d.m.phaseSeconds.With(p.Name).Observe(p.Duration.Seconds())
+		ops += p.Ops
+	}
+	d.m.reconfigSeconds.Observe(rep.Total.Seconds())
+	d.m.reconfigOps.Add(float64(ops))
+	d.m.reconfigs.Inc()
+
+	d.mu.Lock()
+	d.fab = clone
+	d.lkg = alloc
+	d.haveLKG = true
+	d.pending = nil
+	d.lastGoodAt = d.now()
+	d.mu.Unlock()
+	d.m.circuits.Set(float64(clone.CircuitCount()))
+	d.logf("converged: %d ops in %v", ops, rep.Total.Round(time.Microsecond))
+	return d.runAudit()
+}
+
+// repair runs the anti-entropy pass: fetch every device's state, compute
+// the change that restores the fabric's intent, execute and re-audit.
+func (d *Daemon) repair() error {
+	d.mu.Lock()
+	fab := d.fab
+	d.mu.Unlock()
+
+	states := make(map[string]map[string]any)
+	for _, name := range d.ctl.Devices() {
+		st, err := d.ctl.Call(name, "state", nil)
+		if err != nil {
+			d.penalize(err)
+			return fmt.Errorf("repair: state of %s: %w", name, err)
+		}
+		states[name] = st
+	}
+	ch, err := fab.Reconcile(states)
+	if err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	if !fabric.EmptyChange(ch) {
+		d.m.reconciles.Inc()
+		if _, err := d.ctl.Reconfigure(context.Background(), ch); err != nil {
+			d.m.reconcileFailures.Inc()
+			d.penalize(err)
+			return fmt.Errorf("repair reconfigure: %w", err)
+		}
+		d.logf("repair: reconciled devices to last-known-good intent")
+	}
+	if err := d.runAudit(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	ok := d.lastAuditOK
+	if ok {
+		d.needRepair = false
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("repair: audit still failing")
+	}
+	return nil
+}
+
+// runAudit checks device state against intent and records the result. An
+// audit mismatch schedules a repair.
+func (d *Daemon) runAudit() error {
+	d.mu.Lock()
+	fab := d.fab
+	d.mu.Unlock()
+	d.m.audits.Inc()
+	err := d.ctl.Audit(fab.Expected())
+	d.mu.Lock()
+	d.lastAuditAt = d.now()
+	d.lastAuditOK = err == nil
+	if err != nil {
+		d.needRepair = true
+	}
+	d.mu.Unlock()
+	if err != nil {
+		d.m.auditFailures.Inc()
+		d.penalize(err)
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}
+
+func (d *Daemon) dropPending() {
+	d.mu.Lock()
+	d.pending = nil
+	d.mu.Unlock()
+}
+
+func (d *Daemon) setErr(msg string) {
+	d.mu.Lock()
+	d.lastErr = msg
+	d.mu.Unlock()
+}
+
+func (d *Daemon) repairNeeded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.needRepair
+}
+
+func (d *Daemon) updateStaleness() {
+	d.mu.Lock()
+	at, have := d.lastGoodAt, d.haveLKG
+	d.mu.Unlock()
+	if have {
+		d.m.staleness.Set(d.now().Sub(at).Seconds())
+	}
+}
+
+// Audit runs an immediate device-state audit against the current intent.
+func (d *Daemon) Audit() error {
+	d.mu.Lock()
+	fab := d.fab
+	d.mu.Unlock()
+	return d.ctl.Audit(fab.Expected())
+}
+
+// penalize attributes an error to the device that caused it and advances
+// that device's breaker.
+func (d *Daemon) penalize(err error) {
+	var de *control.DeviceError
+	if !errors.As(err, &de) {
+		return
+	}
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	h, ok := d.health[de.Device]
+	if !ok {
+		return
+	}
+	d.recordFailureLocked(de.Device, h, de)
+}

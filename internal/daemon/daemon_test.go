@@ -1,0 +1,248 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iris/internal/control"
+	"iris/internal/fabric"
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+// toyRig brings up the toy region; opts may adjust the bring-up (fault
+// wrappers, transport deadlines).
+func toyRig(t *testing.T, mutate func(*fabric.BringUpConfig)) *fabric.Rig {
+	t.Helper()
+	cfg := fabric.BringUpConfig{Toy: true}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rig, err := fabric.BringUp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.Close)
+	return rig
+}
+
+func toyMatrix(rig *fabric.Rig, d01, d02 float64) *traffic.Matrix {
+	dcs := rig.Dep.Region.Map.DCs()
+	tm := traffic.NewMatrix(dcs)
+	tm.Set(hose.Pair{A: dcs[0], B: dcs[1]}, d01)
+	tm.Set(hose.Pair{A: dcs[0], B: dcs[2]}, d02)
+	return tm
+}
+
+// TestDaemonThreeShifts is the deterministic end-to-end loop test: three
+// distinct traffic matrices replayed through the daemon, every reconfig
+// audited, status surface checked after each step.
+func TestDaemonThreeShifts(t *testing.T) {
+	rig := toyRig(t, nil)
+	feed := traffic.NewReplay(
+		toyMatrix(rig, 60, 45),
+		toyMatrix(rig, 20, 95),
+		toyMatrix(rig, 80, 10),
+	)
+	d, err := New(Config{
+		Fab:        rig.Fab,
+		Controller: rig.Testbed.Controller,
+		Feed:       feed,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d.ProbeOnce()
+	if !d.Healthy() {
+		t.Fatal("fresh testbed reported unhealthy")
+	}
+	for i := 0; i < 3; i++ {
+		if done := d.Step(); done {
+			t.Fatalf("feed exhausted after %d shifts, want 3", i)
+		}
+		// Every reconfiguration must leave devices matching intent.
+		if err := d.Audit(); err != nil {
+			t.Fatalf("audit after shift %d: %v", i+1, err)
+		}
+		st := d.Status()
+		if !st.Converged {
+			t.Fatalf("not converged after shift %d: %+v", i+1, st)
+		}
+		if st.Circuits == 0 {
+			t.Fatalf("no active circuits after shift %d", i+1)
+		}
+	}
+	if done := d.Step(); !done {
+		t.Fatal("4th step did not report feed exhaustion")
+	}
+
+	st := d.Status()
+	if st.Steps != 4 {
+		t.Errorf("steps = %d, want 4", st.Steps)
+	}
+	if !st.LastAuditOK || st.NeedRepair || st.LastError != "" {
+		t.Errorf("unexpected end state: %+v", st)
+	}
+	if got := d.Registry().Counter("iris_reconfig_total", "").Value(); got != 3 {
+		t.Errorf("iris_reconfig_total = %v, want 3", got)
+	}
+	if got := d.Registry().Counter("iris_audit_failures_total", "").Value(); got != 0 {
+		t.Errorf("iris_audit_failures_total = %v, want 0", got)
+	}
+}
+
+// TestDaemonSkipsEqualAllocation verifies an unchanged demand does not
+// trigger a device reconfiguration.
+func TestDaemonSkipsEqualAllocation(t *testing.T) {
+	rig := toyRig(t, nil)
+	feed := traffic.NewReplay(
+		toyMatrix(rig, 60, 45),
+		toyMatrix(rig, 60, 45), // identical → same allocation
+	)
+	d, err := New(Config{Fab: rig.Fab, Controller: rig.Testbed.Controller, Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step()
+	d.Step()
+	if got := d.Registry().Counter("iris_reconfig_total", "").Value(); got != 1 {
+		t.Errorf("iris_reconfig_total = %v, want 1 (second identical shift must be a no-op)", got)
+	}
+}
+
+// TestHTTPSurface exercises /status, /metrics and /healthz end to end.
+func TestHTTPSurface(t *testing.T) {
+	rig := toyRig(t, nil)
+	feed := traffic.NewReplay(toyMatrix(rig, 60, 45))
+	d, err := New(Config{Fab: rig.Fab, Controller: rig.Testbed.Controller, Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ProbeOnce()
+	d.Step()
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /status: %v", err)
+	}
+	res.Body.Close()
+	if !st.Healthy || !st.Converged || st.Circuits == 0 {
+		t.Errorf("/status = %+v, want healthy converged with circuits", st)
+	}
+	if len(st.Devices) != len(rig.Testbed.Controller.Devices()) {
+		t.Errorf("/status lists %d devices, want %d", len(st.Devices), len(rig.Testbed.Controller.Devices()))
+	}
+	if len(st.Allocation) == 0 {
+		t.Error("/status has no allocation entries")
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE iris_reconfig_total counter",
+		"iris_reconfig_total 1",
+		"# TYPE iris_breaker_state gauge",
+		"iris_reconfig_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Errorf("/healthz = %d, want 200", res.StatusCode)
+	}
+}
+
+// TestRunGracefulShutdown drives Run with real (tiny) tickers against an
+// infinite evolving feed and cancels it; Run must drain and return nil.
+func TestRunGracefulShutdown(t *testing.T) {
+	rig := toyRig(t, nil)
+	caps := make(map[int]float64)
+	for dc, c := range rig.Dep.Region.Capacity {
+		caps[dc] = float64(c * rig.Dep.Region.Lambda)
+	}
+	feed := traffic.NewEvolver(11, toyMatrix(rig, 60, 45),
+		traffic.ChangeProcess{Bound: 0.4, Caps: caps, Util: 0.5})
+	d, err := New(Config{
+		Fab:           rig.Fab,
+		Controller:    rig.Testbed.Controller,
+		Feed:          feed,
+		Interval:      5 * time.Millisecond,
+		ProbeInterval: 3 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- d.Run(ctx) }()
+	time.Sleep(60 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	// The drained shutdown must leave devices matching intent.
+	if err := d.Audit(); err != nil {
+		t.Fatalf("audit after shutdown: %v", err)
+	}
+	if d.Status().Steps == 0 {
+		t.Error("Run made no steps")
+	}
+}
+
+// TestDialOptionsOnRig sanity-checks that bring-up's transport deadlines
+// still let a healthy region converge.
+func TestDialOptionsOnRig(t *testing.T) {
+	rig := toyRig(t, func(cfg *fabric.BringUpConfig) {
+		cfg.Dial = control.DialOptions{DialTimeout: time.Second, RPCTimeout: time.Second}
+	})
+	d, err := New(Config{
+		Fab:        rig.Fab,
+		Controller: rig.Testbed.Controller,
+		Feed:       traffic.NewReplay(toyMatrix(rig, 60, 45)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step()
+	if err := d.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

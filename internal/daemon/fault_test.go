@@ -1,0 +1,297 @@
+package daemon
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"iris/internal/control"
+	"iris/internal/fabric"
+	"iris/internal/telemetry"
+	"iris/internal/traffic"
+)
+
+// flaky wraps an emulated device so tests can inject failures and hangs at
+// will. Probes use the "state" op (not protocol-level "ping"), so every
+// injected fault is visible to the daemon's supervision.
+type flaky struct {
+	control.Device
+	mu   sync.Mutex
+	fail bool
+	hang time.Duration
+}
+
+func (f *flaky) set(fail bool, hang time.Duration) {
+	f.mu.Lock()
+	f.fail, f.hang = fail, hang
+	f.mu.Unlock()
+}
+
+func (f *flaky) Handle(op string, args map[string]any) (map[string]any, error) {
+	f.mu.Lock()
+	fail, hang := f.fail, f.hang
+	f.mu.Unlock()
+	if hang > 0 {
+		time.Sleep(hang)
+	}
+	if fail {
+		return nil, errTesting
+	}
+	return f.Device.Handle(op, args)
+}
+
+var errTesting = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string { return "injected fault" }
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// faultRig brings up the toy region with every device wrapped in a flaky
+// shim, returning the shims by device name.
+func faultRig(t *testing.T, mutate func(*fabric.BringUpConfig)) (*fabric.Rig, map[string]*flaky) {
+	t.Helper()
+	shims := make(map[string]*flaky)
+	var mu sync.Mutex
+	rig := toyRig(t, func(cfg *fabric.BringUpConfig) {
+		cfg.WrapDevice = func(name string, dev control.Device) control.Device {
+			f := &flaky{Device: dev}
+			mu.Lock()
+			shims[name] = f
+			mu.Unlock()
+			return f
+		}
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	return rig, shims
+}
+
+// breakerOf returns the named device's breaker string from Status.
+func breakerOf(t *testing.T, d *Daemon, name string) string {
+	t.Helper()
+	for _, ds := range d.Status().Devices {
+		if ds.Name == name {
+			return ds.Breaker
+		}
+	}
+	t.Fatalf("device %s not in status", name)
+	return ""
+}
+
+// pickVictim returns DC 0's transceiver bank: both toy traffic pairs
+// terminate at DC 0, so every shift's reconfiguration must touch it —
+// which makes a fault injected there deterministically fatal mid-flight.
+func pickVictim(rig *fabric.Rig) string {
+	return rig.Fab.XcvrName(rig.Dep.Region.Map.DCs()[0])
+}
+
+// TestBreakerTripAndRecovery is the headline fault-injection scenario from
+// the issue: a device fails mid-reconfiguration, the breaker opens with
+// exponential backoff, the region holds the last-known-good allocation,
+// and once the device heals the daemon reconciles and re-converges.
+func TestBreakerTripAndRecovery(t *testing.T) {
+	rig, shims := faultRig(t, nil)
+	clock := newFakeClock()
+	feed := traffic.NewReplay(
+		toyMatrix(rig, 60, 45),
+		toyMatrix(rig, 20, 95),
+		toyMatrix(rig, 80, 10),
+	)
+	reg := telemetry.NewRegistry()
+	d, err := New(Config{
+		Fab:              rig.Fab,
+		Controller:       rig.Testbed.Controller,
+		Feed:             feed,
+		FailureThreshold: 2,
+		BackoffBase:      100 * time.Millisecond,
+		BackoffMax:       400 * time.Millisecond,
+		Seed:             1,
+		Registry:         reg,
+		Now:              clock.Now,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shift 1 converges cleanly.
+	d.ProbeOnce()
+	d.Step()
+	if err := d.Audit(); err != nil {
+		t.Fatalf("audit after clean shift: %v", err)
+	}
+	lkg := d.Status().Allocation
+
+	// Inject: an OSS starts failing; shift 2's reconfiguration dies
+	// mid-flight.
+	victim := pickVictim(rig)
+	shims[victim].set(true, 0)
+	if done := d.Step(); done {
+		t.Fatal("feed exhausted prematurely")
+	}
+	if got := reg.Counter("iris_reconfig_failures_total", "").Value(); got != 1 {
+		t.Fatalf("iris_reconfig_failures_total = %v, want 1", got)
+	}
+	st := d.Status()
+	if !st.NeedRepair {
+		t.Fatal("failed reconfiguration did not schedule a repair")
+	}
+	if !st.PendingShift {
+		t.Fatal("failed shift was dropped instead of retried")
+	}
+
+	// One failed probe reaches the threshold (reconfig failure counted
+	// one): the breaker opens.
+	d.ProbeOnce()
+	if got := breakerOf(t, d, victim); got != "open" {
+		t.Fatalf("breaker = %q after threshold, want open", got)
+	}
+	if d.Healthy() {
+		t.Fatal("Healthy() with an open breaker")
+	}
+	if got := reg.CounterVec("iris_breaker_trips_total", "", "device").With(victim).Value(); got != 1 {
+		t.Fatalf("breaker trips = %v, want 1", got)
+	}
+
+	// Degraded: steps are skipped, the LKG allocation is held.
+	d.Step()
+	if got := reg.Counter("iris_daemon_skipped_steps_total", "").Value(); got != 1 {
+		t.Fatalf("skipped steps = %v, want 1", got)
+	}
+	held := d.Status()
+	if len(held.Allocation) != len(lkg) {
+		t.Fatalf("degraded allocation %v, want held LKG %v", held.Allocation, lkg)
+	}
+	for i := range lkg {
+		if held.Allocation[i] != lkg[i] {
+			t.Fatalf("degraded allocation %v, want held LKG %v", held.Allocation, lkg)
+		}
+	}
+
+	// Cooldown expires while the device is still broken: the half-open
+	// trial fails and the breaker re-opens with a doubled cooldown.
+	clock.advance(150 * time.Millisecond) // past the first jittered quarantine (≤100ms)
+	d.ProbeOnce()
+	if got := breakerOf(t, d, victim); got != "open" {
+		t.Fatalf("breaker = %q after failed half-open trial, want open", got)
+	}
+
+	// Heal the device; after the (doubled, ≤200ms) cooldown the half-open
+	// trial succeeds and the breaker closes.
+	shims[victim].set(false, 0)
+	clock.advance(250 * time.Millisecond)
+	d.ProbeOnce()
+	if got := breakerOf(t, d, victim); got != "closed" {
+		t.Fatalf("breaker = %q after heal, want closed", got)
+	}
+	if !d.Healthy() {
+		t.Fatal("not Healthy() after heal")
+	}
+
+	// The next step repairs the partially applied change and converges on
+	// the pending shift.
+	if done := d.Step(); done {
+		t.Fatal("feed exhausted prematurely")
+	}
+	if err := d.Audit(); err != nil {
+		t.Fatalf("audit after recovery: %v", err)
+	}
+	st = d.Status()
+	if st.NeedRepair || st.PendingShift || !st.Converged {
+		t.Fatalf("not reconverged after heal: %+v", st)
+	}
+
+	// Shift 3 and drain the feed.
+	d.Step()
+	if err := d.Audit(); err != nil {
+		t.Fatalf("audit after final shift: %v", err)
+	}
+	if done := d.Step(); !done {
+		t.Fatal("feed not exhausted")
+	}
+
+	// The metrics surface reflects the injected failure.
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `iris_probe_failures_total{device="`+victim+`"}`) {
+		t.Errorf("metrics missing probe failures for %s:\n%s", victim, out)
+	}
+	// Two trips: the initial open plus the failed half-open trial.
+	if !strings.Contains(out, `iris_breaker_trips_total{device="`+victim+`"} 2`) {
+		t.Errorf("metrics missing breaker trips for %s:\n%s", victim, out)
+	}
+}
+
+// TestHungDeviceTripsBreaker verifies the transport deadline converts a
+// hang into a failure, and that the poisoned connection redials after the
+// device unsticks.
+func TestHungDeviceTripsBreaker(t *testing.T) {
+	rig, shims := faultRig(t, func(cfg *fabric.BringUpConfig) {
+		cfg.Dial = control.DialOptions{RPCTimeout: 75 * time.Millisecond}
+	})
+	clock := newFakeClock()
+	d, err := New(Config{
+		Fab:              rig.Fab,
+		Controller:       rig.Testbed.Controller,
+		Feed:             traffic.NewReplay(toyMatrix(rig, 60, 45)),
+		FailureThreshold: 1,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		Seed:             1,
+		Now:              clock.Now,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := pickVictim(rig)
+	shims[victim].set(false, 400*time.Millisecond)
+	d.ProbeOnce()
+	if got := breakerOf(t, d, victim); got != "open" {
+		t.Fatalf("breaker = %q after hung probe, want open", got)
+	}
+
+	// Unstick; after cooldown the trial probe must succeed over a freshly
+	// redialled connection.
+	shims[victim].set(false, 0)
+	clock.advance(100 * time.Millisecond)
+	time.Sleep(450 * time.Millisecond) // let the stalled handler finish serving
+	d.ProbeOnce()
+	if got := breakerOf(t, d, victim); got != "closed" {
+		t.Fatalf("breaker = %q after unstick, want closed", got)
+	}
+
+	// A healthy region converges normally afterwards.
+	d.Step()
+	if err := d.Audit(); err != nil {
+		t.Fatalf("audit after unstick: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+)
+
+// Device health supervision: every device is probed on a fixed cadence
+// (its "state" operation doubles as a liveness and sanity check, bounded
+// by the controller transport's RPC deadline). Consecutive failures trip a
+// per-device circuit breaker; a tripped device is quarantined for an
+// exponentially growing, jittered cooldown, then given a single half-open
+// trial probe. Success closes the breaker; failure re-opens it with a
+// doubled cooldown up to the configured maximum.
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+type deviceHealth struct {
+	state       breakerState
+	consecFails int
+	cooldown    time.Duration // next quarantine length (pre-jitter)
+	openUntil   time.Time
+	lastErr     string
+}
+
+// ProbeOnce probes every non-quarantined device concurrently and advances
+// breaker state. Run calls it on the probe interval; tests call it
+// directly.
+func (d *Daemon) ProbeOnce() {
+	var wg sync.WaitGroup
+	for _, name := range d.ctl.Devices() {
+		if !d.admitProbe(name) {
+			continue
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			d.probe(name)
+		}(name)
+	}
+	wg.Wait()
+	d.updateStaleness()
+}
+
+// admitProbe decides whether a device gets probed this round, moving an
+// expired quarantine to half-open (one trial probe).
+func (d *Daemon) admitProbe(name string) bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	h, ok := d.health[name]
+	if !ok {
+		return false
+	}
+	if h.state == breakerOpen {
+		if d.now().Before(h.openUntil) {
+			return false // still quarantined
+		}
+		h.state = breakerHalfOpen
+		d.m.breakerState.With(name).Set(1)
+	}
+	return true
+}
+
+func (d *Daemon) probe(name string) {
+	d.m.probes.Inc()
+	_, err := d.ctl.Call(name, "state", nil)
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	h := d.health[name]
+	if err == nil {
+		if h.state != breakerClosed {
+			d.logf("device %s healthy; breaker closed", name)
+		}
+		h.state = breakerClosed
+		h.consecFails = 0
+		h.cooldown = 0
+		h.lastErr = ""
+		d.m.breakerState.With(name).Set(0)
+		return
+	}
+	d.m.probeFailures.With(name).Inc()
+	d.recordFailureLocked(name, h, err)
+}
+
+// recordFailureLocked registers one failure against a device and trips or
+// re-trips its breaker when warranted. Callers hold d.hmu.
+func (d *Daemon) recordFailureLocked(name string, h *deviceHealth, err error) {
+	h.consecFails++
+	h.lastErr = err.Error()
+	if h.state != breakerHalfOpen && h.consecFails < d.cfg.FailureThreshold {
+		return
+	}
+	// Trip: exponential cooldown, doubled on every consecutive trip,
+	// jittered to [cooldown/2, cooldown] so a fleet of breakers does not
+	// retry in lockstep.
+	if h.cooldown == 0 {
+		h.cooldown = d.cfg.BackoffBase
+	} else {
+		h.cooldown *= 2
+		if h.cooldown > d.cfg.BackoffMax {
+			h.cooldown = d.cfg.BackoffMax
+		}
+	}
+	quarantine := h.cooldown/2 + time.Duration(d.rng.Int63n(int64(h.cooldown/2)+1))
+	h.openUntil = d.now().Add(quarantine)
+	if h.state != breakerOpen {
+		d.m.breakerTrips.With(name).Inc()
+		d.logf("breaker open for %s (%d consecutive failures, retry in %v): %v",
+			name, h.consecFails, quarantine.Round(time.Millisecond), err)
+	}
+	h.state = breakerOpen
+	d.m.breakerState.With(name).Set(2)
+}
+
+// Healthy reports whether every device breaker is closed. While any is
+// open or half-open the daemon holds the last-known-good allocation
+// instead of attempting reconfigurations.
+func (d *Daemon) Healthy() bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	for _, h := range d.health {
+		if h.state != breakerClosed {
+			return false
+		}
+	}
+	return true
+}

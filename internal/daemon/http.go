@@ -1,0 +1,157 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"iris/internal/hose"
+)
+
+// Status is the daemon's introspection snapshot, served as JSON on
+// /status.
+type Status struct {
+	Healthy    bool `json:"healthy"`
+	NeedRepair bool `json:"need_repair"`
+	// Converged: healthy, nothing pending, devices match intent.
+	Converged bool   `json:"converged"`
+	Steps     int    `json:"steps"`
+	LastError string `json:"last_error,omitempty"`
+
+	LastAuditOK bool       `json:"last_audit_ok"`
+	LastAuditAt *time.Time `json:"last_audit_at,omitempty"`
+	// AllocationAgeSeconds is the staleness of the last successful
+	// convergence.
+	AllocationAgeSeconds float64 `json:"allocation_age_seconds"`
+	PendingShift         bool    `json:"pending_shift"`
+
+	Circuits   int              `json:"circuits"`
+	Allocation []PairAllocation `json:"allocation,omitempty"`
+	Devices    []DeviceStatus   `json:"devices"`
+}
+
+// PairAllocation is one DC pair's current circuit assignment.
+type PairAllocation struct {
+	A        int `json:"a"`
+	B        int `json:"b"`
+	Fibers   int `json:"fibers"`
+	Residual int `json:"residual"`
+}
+
+// DeviceStatus is one device's supervision state.
+type DeviceStatus struct {
+	Name                string  `json:"name"`
+	Breaker             string  `json:"breaker"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	LastError           string  `json:"last_error,omitempty"`
+	RetryInSeconds      float64 `json:"retry_in_seconds,omitempty"`
+}
+
+// Status snapshots the daemon's current intent and device supervision
+// state.
+func (d *Daemon) Status() Status {
+	now := d.now()
+
+	d.mu.Lock()
+	st := Status{
+		NeedRepair: d.needRepair,
+		Steps:      d.steps,
+		LastError:  d.lastErr,
+	}
+	st.LastAuditOK = d.lastAuditOK
+	if !d.lastAuditAt.IsZero() {
+		at := d.lastAuditAt
+		st.LastAuditAt = &at
+	}
+	if d.haveLKG {
+		st.AllocationAgeSeconds = now.Sub(d.lastGoodAt).Seconds()
+		seen := make(map[[2]int]bool)
+		add := func(a, b int) {
+			k := [2]int{a, b}
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			p := hose.Pair{A: a, B: b}
+			f, r := d.lkg.Fibers[p], d.lkg.Residual[p]
+			if f > 0 || r > 0 {
+				st.Allocation = append(st.Allocation, PairAllocation{A: a, B: b, Fibers: f, Residual: r})
+			}
+		}
+		for p := range d.lkg.Fibers {
+			add(p.A, p.B)
+		}
+		for p := range d.lkg.Residual {
+			add(p.A, p.B)
+		}
+	}
+	st.PendingShift = d.pending != nil
+	st.Circuits = d.fab.CircuitCount()
+	d.mu.Unlock()
+	sort.Slice(st.Allocation, func(i, j int) bool {
+		if st.Allocation[i].A != st.Allocation[j].A {
+			return st.Allocation[i].A < st.Allocation[j].A
+		}
+		return st.Allocation[i].B < st.Allocation[j].B
+	})
+
+	d.hmu.Lock()
+	names := make([]string, 0, len(d.health))
+	for name := range d.health {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	healthy := true
+	for _, name := range names {
+		h := d.health[name]
+		ds := DeviceStatus{
+			Name:                name,
+			Breaker:             h.state.String(),
+			ConsecutiveFailures: h.consecFails,
+			LastError:           h.lastErr,
+		}
+		if h.state == breakerOpen && h.openUntil.After(now) {
+			ds.RetryInSeconds = h.openUntil.Sub(now).Seconds()
+		}
+		if h.state != breakerClosed {
+			healthy = false
+		}
+		st.Devices = append(st.Devices, ds)
+	}
+	d.hmu.Unlock()
+
+	st.Healthy = healthy
+	st.Converged = healthy && !st.NeedRepair && !st.PendingShift && st.LastAuditOK
+	return st
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET /metrics — Prometheus text exposition of the daemon's metrics
+//	GET /status  — Status as JSON
+//	GET /healthz — 200 while healthy and repaired, 503 while degraded
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = d.reg.WriteText(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d.Status())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := d.Status()
+		if st.Healthy && !st.NeedRepair {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("degraded\n"))
+	})
+	return mux
+}

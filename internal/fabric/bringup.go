@@ -1,0 +1,86 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"iris/internal/control"
+	"iris/internal/core"
+	"iris/internal/fibermap"
+)
+
+// BringUpConfig describes a region to plan and materialise into a live
+// emulated testbed. It is the single bring-up path shared by irisctl and
+// irisd, so the two binaries cannot drift.
+type BringUpConfig struct {
+	// Toy selects the paper's Fig. 10 toy region; otherwise a map is
+	// generated and DCs are placed from Seed / DCs.
+	Toy  bool
+	Seed int64
+	DCs  int
+	// DCCapacity is each DC's hose capacity in fiber-pairs (default 10).
+	DCCapacity int
+	// Lambda is the wavelength count per fiber (default 40).
+	Lambda int
+	// OSSDelay is the emulated switch settling time (0 = instant).
+	OSSDelay time.Duration
+	// Dial configures the controller's transport deadlines.
+	Dial control.DialOptions
+	// WrapDevice, when non-nil, may replace each emulated device before it
+	// is served — the hook for fault injection and instrumentation.
+	WrapDevice func(name string, dev control.Device) control.Device
+}
+
+// Rig is a materialised region: the planned deployment, its fabric, and a
+// live testbed with a connected controller.
+type Rig struct {
+	Dep     *core.Deployment
+	Fab     *Fabric
+	Testbed *control.Testbed
+}
+
+// BringUp plans the region, builds its fabric, and serves the emulated
+// device set with a controller dialled to all of it.
+func BringUp(cfg BringUpConfig) (*Rig, error) {
+	if cfg.DCCapacity == 0 {
+		cfg.DCCapacity = 10
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 40
+	}
+	var m *fibermap.Map
+	if cfg.Toy {
+		m = fibermap.Toy().Map
+	} else {
+		m = fibermap.Generate(fibermap.DefaultGenConfig(cfg.Seed))
+		if _, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(cfg.Seed, cfg.DCs)); err != nil {
+			return nil, fmt.Errorf("fabric: bringup: %w", err)
+		}
+	}
+	caps := make(map[int]int)
+	for _, dc := range m.DCs() {
+		caps[dc] = cfg.DCCapacity
+	}
+	dep, err := core.Plan(core.Region{Map: m, Capacity: caps, Lambda: cfg.Lambda}, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: bringup: %w", err)
+	}
+	fab, err := Build(dep)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: bringup: %w", err)
+	}
+	devs := fab.Devices(cfg.OSSDelay)
+	if cfg.WrapDevice != nil {
+		for name, dev := range devs {
+			devs[name] = cfg.WrapDevice(name, dev)
+		}
+	}
+	tb, err := control.StartTestbedWithOptions(devs, cfg.Dial)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: bringup: %w", err)
+	}
+	return &Rig{Dep: dep, Fab: fab, Testbed: tb}, nil
+}
+
+// Close shuts the rig's testbed down.
+func (r *Rig) Close() { r.Testbed.Close() }

@@ -497,9 +497,11 @@ func (f *Fabric) CompileTarget(alloc core.Allocation) (control.Change, error) {
 	return ch, nil
 }
 
-// Expected returns the controller-intent view of all OSS cross-connects
-// for auditing. (Transceiver expectations depend on device-local tuning
-// history and are audited per change by the controller's report instead.)
+// Expected returns the controller-intent view of the fabric for auditing:
+// every OSS cross-connect and every transceiver's live/drained state.
+// (Expected wavelengths are not asserted as full vectors because freed
+// transceivers keep their stale device-local tuning; the per-index intent
+// is available to Reconcile instead.)
 func (f *Fabric) Expected() control.Expected {
 	cross := make(map[string]map[int]int)
 	record := func(node, in, out int) {
@@ -513,6 +515,10 @@ func (f *Fabric) Expected() control.Expected {
 	for n := range f.ossSize {
 		nodeByName[f.OSSName(n)] = n
 	}
+	enabled := make(map[string][]bool)
+	for _, dc := range f.dep.Region.Map.DCs() {
+		enabled[f.XcvrName(dc)] = make([]bool, f.dep.Region.Capacity[dc]*f.lambda)
+	}
 	every := func(c *circuit) {
 		ops, err := f.circuitOps(c, false)
 		if err != nil {
@@ -520,6 +526,10 @@ func (f *Fabric) Expected() control.Expected {
 		}
 		for _, op := range ops {
 			record(nodeByName[op.Device], op.In, op.Out)
+		}
+		for slot := 0; slot < c.live; slot++ {
+			enabled[f.XcvrName(c.pair.A)][c.xcvrA[slot]] = true
+			enabled[f.XcvrName(c.pair.B)][c.xcvrB[slot]] = true
 		}
 	}
 	for _, cs := range f.full {
@@ -530,7 +540,7 @@ func (f *Fabric) Expected() control.Expected {
 	for _, c := range f.residual {
 		every(c)
 	}
-	return control.Expected{Cross: cross}
+	return control.Expected{Cross: cross, Enabled: enabled}
 }
 
 // CircuitCount returns the number of active circuits (full + residual).

@@ -1,0 +1,169 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+// toyRig brings up the toy region with an instant-switching testbed.
+func toyRig(t *testing.T) *Rig {
+	t.Helper()
+	rig, err := BringUp(BringUpConfig{Toy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.Close)
+	return rig
+}
+
+func toyMatrix(rig *Rig, d01, d02 float64) *traffic.Matrix {
+	dcs := rig.Dep.Region.Map.DCs()
+	tm := traffic.NewMatrix(dcs)
+	tm.Set(hose.Pair{A: dcs[0], B: dcs[1]}, d01)
+	if len(dcs) > 2 {
+		tm.Set(hose.Pair{A: dcs[0], B: dcs[2]}, d02)
+	}
+	return tm
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	rig := toyRig(t)
+	alloc, err := rig.Dep.Allocate(toyMatrix(rig, 60, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clone := rig.Fab.Clone()
+	if _, err := clone.CompileTarget(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.Fab.CircuitCount(); got != 0 {
+		t.Fatalf("compiling on the clone leaked %d circuits into the original", got)
+	}
+	if got := clone.CircuitCount(); got == 0 {
+		t.Fatal("clone compiled no circuits")
+	}
+	// The untouched original still compiles the identical change, i.e. its
+	// pools were not consumed by the clone.
+	ch, err := rig.Fab.CompileTarget(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Switches) == 0 {
+		t.Fatal("original fabric compiled an empty change")
+	}
+}
+
+func deviceStates(t *testing.T, rig *Rig) map[string]map[string]any {
+	t.Helper()
+	states := make(map[string]map[string]any)
+	for _, name := range rig.Testbed.Controller.Devices() {
+		st, err := rig.Testbed.Controller.Call(name, "state", nil)
+		if err != nil {
+			t.Fatalf("state of %s: %v", name, err)
+		}
+		states[name] = st
+	}
+	return states
+}
+
+func TestReconcileRepairsDriftedDevices(t *testing.T) {
+	rig := toyRig(t)
+	ctl := rig.Testbed.Controller
+	alloc, err := rig.Dep.Allocate(toyMatrix(rig, 60, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := rig.Fab.CompileTarget(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Reconfigure(context.Background(), ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Audit(rig.Fab.Expected()); err != nil {
+		t.Fatalf("audit after clean reconfigure: %v", err)
+	}
+
+	// A converged fabric reconciles to an empty change.
+	rc, err := rig.Fab.Reconcile(deviceStates(t, rig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EmptyChange(rc) {
+		t.Fatalf("reconcile of converged devices is not empty: %+v", rc)
+	}
+
+	// Drift the devices behind the controller's back: rip out one OSS
+	// cross-connect and drain one live transceiver.
+	exp := rig.Fab.Expected()
+	var ossName string
+	var ossIn int
+	for name, cross := range exp.Cross {
+		for in := range cross {
+			ossName, ossIn = name, in
+		}
+		if ossName != "" {
+			break
+		}
+	}
+	if _, err := ctl.Call(ossName, "disconnect", map[string]any{"in": ossIn}); err != nil {
+		t.Fatal(err)
+	}
+	var xcvrName string
+	var xcvrIdx int
+	for name, en := range exp.Enabled {
+		for idx, on := range en {
+			if on {
+				xcvrName, xcvrIdx = name, idx
+			}
+		}
+		if xcvrName != "" {
+			break
+		}
+	}
+	if _, err := ctl.Call(xcvrName, "disable", map[string]any{"idx": xcvrIdx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Audit(exp); err == nil {
+		t.Fatal("audit passed on drifted devices")
+	}
+
+	// Reconcile must produce exactly the repair and bring the audit back.
+	rc, err = rig.Fab.Reconcile(deviceStates(t, rig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EmptyChange(rc) {
+		t.Fatal("reconcile of drifted devices is empty")
+	}
+	if _, err := ctl.Reconfigure(context.Background(), rc); err != nil {
+		t.Fatalf("repair reconfigure: %v", err)
+	}
+	if err := ctl.Audit(rig.Fab.Expected()); err != nil {
+		t.Fatalf("audit after repair: %v", err)
+	}
+}
+
+func TestBringUpGeneratedRegion(t *testing.T) {
+	rig, err := BringUp(BringUpConfig{Seed: 3, DCs: 4, DCCapacity: 6, Lambda: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+	if len(rig.Dep.Region.Map.DCs()) != 4 {
+		t.Fatalf("DCs = %d, want 4", len(rig.Dep.Region.Map.DCs()))
+	}
+	if len(rig.Testbed.Controller.Devices()) == 0 {
+		t.Fatal("no devices served")
+	}
+	// Every served device answers a ping.
+	for _, name := range rig.Testbed.Controller.Devices() {
+		if _, err := rig.Testbed.Controller.Call(name, "ping", nil); err != nil {
+			t.Fatalf("ping %s: %v", name, err)
+		}
+	}
+}

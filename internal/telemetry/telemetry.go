@@ -1,0 +1,326 @@
+// Package telemetry is a small, dependency-free metrics library for the
+// iris daemon: counters, gauges and histograms registered in a Registry
+// and exposed in the Prometheus text format. It implements just the
+// exposition subset the /metrics endpoint needs — no client library, no
+// push, deterministic output ordering so tests can assert on it.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metric families. All methods are safe for
+// concurrent use; registering an existing name returns the existing
+// collector (or panics if the type or label key differs — a programming
+// error, not an operational condition).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+type family struct {
+	name, help, typ string
+	label           string // label key; "" for unlabeled families
+	mu              sync.Mutex
+	children        map[string]collector // label value -> collector
+	buckets         []float64            // histograms only
+}
+
+type collector interface {
+	// write emits the family's sample lines for one child.
+	write(w io.Writer, name, labels string) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ, label string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || f.label != label {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s/%q, was %s/%q",
+				name, typ, label, f.typ, f.label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, label: label,
+		children: make(map[string]collector), buckets: buckets}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return f
+}
+
+func (f *family) child(value string, mk func() collector) collector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[value]; ok {
+		return c
+	}
+	c := mk()
+	f.children[value] = c
+	return c
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d; negative deltas panic.
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("telemetry: counter decreased")
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+func (c *Counter) write(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(c.Value()))
+	return err
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func (g *Gauge) write(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+	return err
+}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // ascending upper bounds, +Inf implicit
+	counts  []uint64  // per bucket (non-cumulative internally)
+	inf     uint64
+	sum     float64
+	count   uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &Histogram{buckets: bs, counts: make([]uint64, len(bs))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) error {
+	h.mu.Lock()
+	buckets := append([]float64(nil), h.buckets...)
+	counts := append([]uint64(nil), h.counts...)
+	inf, sum, count := h.inf, h.sum, h.count
+	h.mu.Unlock()
+
+	// Bucket labels compose with the family label.
+	le := func(bound string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", bound)
+		}
+		return strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", bound)
+	}
+	var cum uint64
+	for i, ub := range buckets {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le(formatFloat(ub)), cum); err != nil {
+			return err
+		}
+	}
+	cum += inf
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+	return err
+}
+
+// Counter returns the unlabeled counter with the given name, registering
+// it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", "", nil)
+	return f.child("", func() collector { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", "", nil)
+	return f.child("", func() collector { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram with the given name and bucket
+// upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, "histogram", "", buckets)
+	return f.child("", func() collector { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with the given name and
+// label key.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", label, nil)}
+}
+
+// With returns the counter for one label value.
+func (v *CounterVec) With(value string) *Counter {
+	return v.f.child(value, func() collector { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with the given name and label
+// key.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, "gauge", label, nil)}
+}
+
+// With returns the gauge for one label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.f.child(value, func() collector { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by one label.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family with the given name,
+// label key and bucket upper bounds.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	return &HistogramVec{r.family(name, help, "histogram", label, buckets)}
+}
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.f.child(value, func() collector { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format, families sorted by name and children by label value.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		values := make([]string, 0, len(f.children))
+		for v := range f.children {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		children := make([]collector, len(values))
+		for i, v := range values {
+			children[i] = f.children[v]
+		}
+		f.mu.Unlock()
+		for i, c := range children {
+			labels := ""
+			if f.label != "" {
+				// %q escapes backslash, quote and newline — exactly the
+				// Prometheus label escaping rules.
+				labels = fmt.Sprintf("{%s=%q}", f.label, values[i])
+			}
+			if err := c.write(w, f.name, labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %v, want 3", c.Value())
+	}
+	// Re-registering returns the same collector.
+	if r.Counter("requests_total", "requests") != c {
+		t.Error("re-registration returned a new counter")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %v, want 3", g.Value())
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		`latency_seconds_sum 5.555`,
+		`latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("zeta_total", "z", "device").With("b").Inc()
+	r.CounterVec("zeta_total", "z", "device").With("a").Inc()
+	r.Gauge("alpha", "a").Set(1)
+	var b1, b2 strings.Builder
+	if err := r.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("two renders differ")
+	}
+	out := b1.String()
+	if !strings.Contains(out, "# TYPE alpha gauge") || !strings.Contains(out, "# TYPE zeta_total counter") {
+		t.Fatalf("missing TYPE lines:\n%s", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if strings.Index(out, `device="a"`) > strings.Index(out, `device="b"`) {
+		t.Errorf("children not sorted by label value:\n%s", out)
+	}
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("breaker_state", "state", "device")
+	v.With("oss-1").Set(2)
+	if got := v.With("oss-1").Value(); got != 2 {
+		t.Errorf("child lookup = %v, want 2", got)
+	}
+}
+
+func TestMismatchedReRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("type-mismatched re-registration did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestConcurrentUseIsRaceFree(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("hits_total", "").Inc()
+				r.CounterVec("per_dev_total", "", "device").With("d").Inc()
+				r.Histogram("h", "", []float64{1}).Observe(float64(j))
+				var b strings.Builder
+				_ = r.WriteText(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "").Value(); got != 800 {
+		t.Errorf("hits = %v, want 800", got)
+	}
+}

@@ -1,0 +1,80 @@
+package traffic
+
+import "math/rand"
+
+// Source yields successive demand matrices — the traffic feed a control
+// loop converges to. Implementations must hand ownership of each returned
+// matrix to the caller.
+type Source interface {
+	// Next returns the next demand matrix, or ok=false when the feed is
+	// exhausted (a finite replay reached its end).
+	Next() (m *Matrix, ok bool)
+}
+
+// Replay replays a fixed sequence of matrices: scripted traffic shifts for
+// demos and deterministic tests.
+type Replay struct {
+	ms []*Matrix
+}
+
+// NewReplay returns a feed that yields clones of the given matrices in
+// order, then reports exhaustion.
+func NewReplay(ms ...*Matrix) *Replay {
+	return &Replay{ms: append([]*Matrix(nil), ms...)}
+}
+
+// Next implements Source.
+func (r *Replay) Next() (*Matrix, bool) {
+	if len(r.ms) == 0 {
+		return nil, false
+	}
+	m := r.ms[0]
+	r.ms = r.ms[1:]
+	return m.Clone(), true
+}
+
+// Evolver is an endless feed that yields a base matrix and then evolves it
+// with the §6.3 change process: each Next is one interval of the paper's
+// bounded-drift or pair-swap demand dynamics.
+type Evolver struct {
+	rng     *rand.Rand
+	cp      ChangeProcess
+	m       *Matrix
+	started bool
+}
+
+// NewEvolver returns an evolving feed seeded for reproducibility. The base
+// matrix is yielded as the first step and then stepped in place.
+func NewEvolver(seed int64, base *Matrix, cp ChangeProcess) *Evolver {
+	return &Evolver{rng: rand.New(rand.NewSource(seed)), cp: cp, m: base.Clone()}
+}
+
+// Next implements Source; it never exhausts.
+func (e *Evolver) Next() (*Matrix, bool) {
+	if !e.started {
+		e.started = true
+		return e.m.Clone(), true
+	}
+	e.cp.Step(e.rng, e.m)
+	return e.m.Clone(), true
+}
+
+// Limit caps a feed at n matrices; it exhausts when either the underlying
+// source does or n matrices have been yielded. Non-positive n yields an
+// immediately exhausted feed.
+func Limit(s Source, n int) Source {
+	return &limited{s: s, left: n}
+}
+
+type limited struct {
+	s    Source
+	left int
+}
+
+func (l *limited) Next() (*Matrix, bool) {
+	if l.left <= 0 {
+		return nil, false
+	}
+	l.left--
+	return l.s.Next()
+}
