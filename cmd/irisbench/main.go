@@ -15,23 +15,40 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 	"time"
 
 	"iris/internal/experiments"
+	"iris/internal/logging"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irisbench: ")
+// logger carries irisbench's structured logs; experiment output stays on
+// stdout via fmt.
+var logger *slog.Logger
 
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss)")
 		full     = flag.Bool("full", false, "run the Fig. 12 sweep at full paper scale (240 scenarios)")
 		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial; rows are identical at every setting")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = logging.New(os.Stderr, *logLevel, *logJSON, "irisbench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irisbench:", err)
+		os.Exit(2)
+	}
 
 	wants := func(name string) bool {
 		if *exp == "all" || *exp == name {
@@ -53,7 +70,7 @@ func main() {
 		t0 := time.Now()
 		out, err := fn()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fatal(name+" failed", err)
 		}
 		fmt.Println(strings.TrimRight(out, "\n"))
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
@@ -109,7 +126,7 @@ func main() {
 		t0 := time.Now()
 		rows, err := experiments.Sweep(cfg)
 		if err != nil {
-			log.Fatalf("sweep: %v", err)
+			fatal("sweep failed", err)
 		}
 		fmt.Printf("[cost sweep: %s, %d scenarios in %v]\n\n",
 			label, len(rows), time.Since(t0).Round(time.Millisecond))
@@ -182,6 +199,7 @@ func main() {
 	})
 
 	if ran == 0 {
-		log.Fatalf("unknown experiment %q", *exp)
+		logger.Error("unknown experiment", "exp", *exp)
+		os.Exit(1)
 	}
 }

@@ -15,35 +15,52 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"iris/internal/control"
 	"iris/internal/core"
 	"iris/internal/fabric"
 	"iris/internal/hose"
+	"iris/internal/logging"
 	"iris/internal/optics"
 	"iris/internal/traffic"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irisctl: ")
+// logger carries irisctl's structured logs; program output stays on
+// stdout via fmt.
+var logger *slog.Logger
 
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+func main() {
 	var (
 		toy      = flag.Bool("toy", true, "use the paper's Fig. 10 toy region")
 		seed     = flag.Int64("seed", 1, "generator seed when not using the toy")
 		dcs      = flag.Int("dcs", 5, "DCs to place when not using the toy")
 		ossDelay = flag.Duration("oss-delay", time.Duration(optics.OSSSwitchTimeMS)*time.Millisecond,
 			"emulated OSS switching time")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = logging.New(os.Stderr, *logLevel, *logJSON, "irisctl")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irisctl:", err)
+		os.Exit(2)
+	}
 
 	rig, err := fabric.BringUp(fabric.BringUpConfig{
 		Toy: *toy, Seed: *seed, DCs: *dcs, OSSDelay: *ossDelay,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("bring-up failed", err)
 	}
 	defer rig.Close()
 	dep, fab, tb := rig.Dep, rig.Fab, rig.Testbed
@@ -55,7 +72,7 @@ func main() {
 	for _, name := range tb.Controller.Devices() {
 		res, err := tb.Controller.Call(name, "ping", nil)
 		if err != nil {
-			log.Fatal(err)
+			fatal("device ping failed", err)
 		}
 		fmt.Printf("  %-14s %v\n", name, res["kind"])
 	}
@@ -69,7 +86,7 @@ func main() {
 	}
 	alloc, err := dep.Allocate(tm)
 	if err != nil {
-		log.Fatal(err)
+		fatal("allocation failed", err)
 	}
 	fmt.Println("\nestablishing circuits for the initial matrix...")
 	executeTarget(tb, fab, alloc)
@@ -81,7 +98,7 @@ func main() {
 	}
 	alloc2, err := dep.Allocate(tm)
 	if err != nil {
-		log.Fatal(err)
+		fatal("allocation failed", err)
 	}
 	moves := core.Diff(alloc, alloc2)
 	fmt.Printf("\ntraffic shift: %d circuit move(s); reconfiguring...\n", len(moves))
@@ -89,7 +106,7 @@ func main() {
 
 	fmt.Println("\nauditing device state against controller intent...")
 	if err := tb.Controller.Audit(fab.Expected()); err != nil {
-		log.Fatalf("audit FAILED: %v", err)
+		fatal("audit FAILED", err)
 	}
 	fmt.Printf("audit OK: %d active circuits match intent\n", fab.CircuitCount())
 }
@@ -97,11 +114,11 @@ func main() {
 func executeTarget(tb *control.Testbed, fab *fabric.Fabric, alloc core.Allocation) {
 	ch, err := fab.CompileTarget(alloc)
 	if err != nil {
-		log.Fatal(err)
+		fatal("compile failed", err)
 	}
 	rep, err := tb.Controller.Reconfigure(context.Background(), ch)
 	if err != nil {
-		log.Fatal(err)
+		fatal("reconfigure failed", err)
 	}
 	for _, p := range rep.Phases {
 		fmt.Printf("  %-8s %4d ops in %8v\n", p.Name, p.Ops, p.Duration.Round(time.Microsecond))

@@ -4,13 +4,16 @@
 // executing drained reconfigurations, probing device health, quarantining
 // flapping devices behind a circuit breaker, and reconciling partially
 // applied changes once devices heal. Observability is served over HTTP:
-// /metrics (Prometheus text format), /status (JSON) and /healthz.
+// /metrics (Prometheus text format), /status (JSON), /healthz, plus the
+// flight recorder on /debug/events and /debug/trace; pprof is available
+// behind -pprof.
 //
 // Usage:
 //
 //	irisd [-toy] [-seed N] [-dcs N] [-oss-delay 20ms]
 //	      [-listen 127.0.0.1:9090] [-interval 2s] [-probe-interval 1s]
 //	      [-steps N] [-shift-bound 0.4] [-util 0.7]
+//	      [-log-level info] [-log-json] [-trace-events 4096] [-pprof]
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: an in-flight
 // reconfiguration finishes its drained sequence, the HTTP server closes,
@@ -21,9 +24,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -31,14 +36,13 @@ import (
 	"iris/internal/control"
 	"iris/internal/daemon"
 	"iris/internal/fabric"
+	"iris/internal/logging"
 	"iris/internal/optics"
+	"iris/internal/trace"
 	"iris/internal/traffic"
 )
 
 func main() {
-	log.SetFlags(log.Ltime | log.Lmicroseconds)
-	log.SetPrefix("irisd: ")
-
 	var (
 		toy      = flag.Bool("toy", true, "use the paper's Fig. 10 toy region")
 		seed     = flag.Int64("seed", 1, "generator seed when not using the toy, and traffic seed")
@@ -52,21 +56,43 @@ func main() {
 		shiftBound    = flag.Float64("shift-bound", 0.4, "max fractional per-pair demand change per step (≤0 = pair swaps)")
 		util          = flag.Float64("util", 0.7, "target hose utilisation of the traffic process")
 		rpcTimeout    = flag.Duration("rpc-timeout", control.DefaultRPCTimeout, "per-device RPC deadline")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		traceEvents   = flag.Int("trace-events", 4096, "flight-recorder capacity in events (0 disables tracing)")
+		pprofEnabled  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
+
+	log, err := logging.New(os.Stderr, *logLevel, *logJSON, "irisd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irisd:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	var tracer *trace.Tracer
+	if *traceEvents > 0 {
+		tracer = trace.New(*traceEvents)
+	}
 
 	rig, err := fabric.BringUp(fabric.BringUpConfig{
 		Toy: *toy, Seed: *seed, DCs: *dcs,
 		OSSDelay: *ossDelay,
 		Dial:     control.DialOptions{RPCTimeout: *rpcTimeout},
+		Tracer:   tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("bring-up failed", err)
 	}
 	defer rig.Close()
 	m := rig.Dep.Region.Map
-	log.Printf("region up: %d DCs, %d devices, %d fiber-pairs planned",
-		len(m.DCs()), len(rig.Testbed.Controller.Devices()), rig.Dep.Plan.TotalFiberPairs())
+	log.Info("region up",
+		"dcs", len(m.DCs()),
+		"devices", len(rig.Testbed.Controller.Devices()),
+		"fiber_pairs", rig.Dep.Plan.TotalFiberPairs())
 
 	// Traffic: a heavy-tailed base matrix evolved by the §6.3 change
 	// process, in wavelength units against each DC's hose capacity.
@@ -81,6 +107,7 @@ func main() {
 	if *steps > 0 {
 		feed = traffic.Limit(feed, *steps)
 	}
+	feed = traffic.Traced(feed, tracer)
 
 	d, err := daemon.New(daemon.Config{
 		Fab:           rig.Fab,
@@ -89,30 +116,44 @@ func main() {
 		Interval:      *interval,
 		ProbeInterval: *probeInterval,
 		Seed:          *seed,
-		Logf:          log.Printf,
+		Logger:        log,
+		Tracer:        tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("daemon init failed", err)
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", d.Handler())
+	if *pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {
-		log.Printf("serving /metrics /status /healthz on http://%s", *listen)
+		log.Info("http surface up",
+			"addr", *listen,
+			"endpoints", "/metrics /status /healthz /debug/events /debug/trace")
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("http: %v", err)
+			fatal("http serve failed", err)
 		}
 	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := d.Run(ctx); err != nil {
-		log.Printf("run: %v", err)
+		log.Error("run failed", "err", err)
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		log.Warn("http shutdown", "err", err)
 	}
-	log.Printf("bye: %d steps served", d.Status().Steps)
+	log.Info("bye", "steps", d.Status().Steps)
 }

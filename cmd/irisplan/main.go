@@ -12,9 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -23,12 +24,19 @@ import (
 	"iris/internal/core"
 	"iris/internal/fibermap"
 	"iris/internal/hose"
+	"iris/internal/logging"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irisplan: ")
+// logger carries irisplan's structured logs; the plan report stays on
+// stdout via fmt.
+var logger *slog.Logger
 
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+func main() {
 	var (
 		toy      = flag.Bool("toy", false, "plan the paper's Fig. 10 toy region instead of a generated one")
 		seed     = flag.Int64("seed", 1, "region generator seed")
@@ -41,15 +49,24 @@ func main() {
 		load     = flag.String("load", "", "plan a region loaded from a JSON file instead of generating one")
 		save     = flag.String("save", "", "write the region (generated or loaded) to a JSON file")
 		verbose  = flag.Bool("v", false, "print per-duct and per-path detail")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 
+	var lerr error
+	logger, lerr = logging.New(os.Stderr, *logLevel, *logJSON, "irisplan")
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "irisplan:", lerr)
+		os.Exit(2)
+	}
+
 	if *seeds != "" {
 		if *toy || *load != "" || *save != "" {
-			log.Fatal("-seeds cannot be combined with -toy, -load, or -save")
+			fatal("bad flags", errors.New("-seeds cannot be combined with -toy, -load, or -save"))
 		}
 		if err := planSeeds(*seeds, *dcs, *capacity, *lambda, *failures, *parallel, *verbose); err != nil {
-			log.Fatal(err)
+			fatal("multi-seed planning failed", err)
 		}
 		return
 	}
@@ -62,16 +79,16 @@ func main() {
 		region, err = buildRegion(*toy, *seed, *dcs, *capacity, *lambda)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("region build failed", err)
 	}
 	if *save != "" {
 		if err := saveRegion(region, *save); err != nil {
-			log.Fatal(err)
+			fatal("region save failed", err)
 		}
 	}
 	dep, err := core.Plan(region, core.Options{MaxFailures: *failures})
 	if err != nil {
-		log.Fatal(err)
+		fatal("planning failed", err)
 	}
 	printDeployment(dep, *verbose)
 }

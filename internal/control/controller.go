@@ -2,11 +2,15 @@ package control
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"reflect"
 	"sort"
 	"sync"
 	"time"
+
+	"iris/internal/trace"
 )
 
 // DeviceSpec names one device agent and where to reach it.
@@ -94,6 +98,35 @@ func (c *Controller) Call(device, op string, args map[string]any) (map[string]an
 	return res, nil
 }
 
+// tracedCall runs one device RPC under a child span of parent, carrying
+// the device attribution and the deadline outcome. A nil parent (no
+// tracer, or an untraced caller) records nothing and adds no overhead
+// beyond the nil checks.
+func (c *Controller) tracedCall(parent *trace.Span, device, op string, args map[string]any) (map[string]any, error) {
+	sp := parent.Child(op)
+	sp.SetDevice(device)
+	res, err := c.Call(device, op, args)
+	if err != nil {
+		sp.Fail(err)
+		if isDeadline(err) {
+			sp.SetAttr("deadline_exceeded")
+		}
+	}
+	sp.Finish()
+	return res, err
+}
+
+// isDeadline reports whether an RPC error is a transport or context
+// deadline expiry — the outcome the per-RPC spans single out, since a
+// deadline means the device wedged rather than refused.
+func isDeadline(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Devices returns the connected device names in sorted order.
 func (c *Controller) Devices() []string {
 	c.mu.Lock()
@@ -164,29 +197,40 @@ type Report struct {
 // Reconfigure executes the change. Phases run strictly in order;
 // operations within a phase run concurrently (they touch independent
 // devices or independent ports). The first error aborts subsequent phases.
+//
+// When ctx carries a span (trace.ContextWith — the daemon threads its
+// reconfig root through here), each phase becomes a child span with
+// per-device children, so the flight recorder captures the §5.2 sequence
+// drain → switch → amps → retune → fill → undrain with per-device
+// durations and deadline outcomes.
 func (c *Controller) Reconfigure(ctx context.Context, ch Change) (Report, error) {
 	var rep Report
 	start := time.Now()
+	parent := trace.FromContext(ctx)
 	phases := []struct {
 		name string
-		run  func() error
+		run  func(sp *trace.Span) error
 		ops  int
 	}{
-		{"drain", func() error { return c.transceiverPhase(ctx, ch.Drain, "disable") }, len(ch.Drain)},
-		{"switch", func() error { return c.switchPhase(ctx, ch.Switches) }, len(ch.Switches)},
-		{"amps", func() error { return c.ampPhase(ctx, ch.Amps) }, len(ch.Amps)},
-		{"retune", func() error { return c.transceiverPhase(ctx, ch.Retunes, "tune") }, len(ch.Retunes)},
-		{"fill", func() error { return c.fillPhase(ctx, ch.Fills) }, len(ch.Fills)},
-		{"undrain", func() error { return c.transceiverPhase(ctx, ch.Undrain, "enable") }, len(ch.Undrain)},
+		{"drain", func(sp *trace.Span) error { return c.transceiverPhase(ctx, sp, ch.Drain, "disable") }, len(ch.Drain)},
+		{"switch", func(sp *trace.Span) error { return c.switchPhase(ctx, sp, ch.Switches) }, len(ch.Switches)},
+		{"amps", func(sp *trace.Span) error { return c.ampPhase(ctx, sp, ch.Amps) }, len(ch.Amps)},
+		{"retune", func(sp *trace.Span) error { return c.transceiverPhase(ctx, sp, ch.Retunes, "tune") }, len(ch.Retunes)},
+		{"fill", func(sp *trace.Span) error { return c.fillPhase(ctx, sp, ch.Fills) }, len(ch.Fills)},
+		{"undrain", func(sp *trace.Span) error { return c.transceiverPhase(ctx, sp, ch.Undrain, "enable") }, len(ch.Undrain)},
 	}
 	for _, ph := range phases {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
+		sp := parent.Child(ph.name)
 		t0 := time.Now()
-		if err := ph.run(); err != nil {
+		if err := ph.run(sp); err != nil {
+			sp.Fail(err)
+			sp.Finish()
 			return rep, fmt.Errorf("control: %s phase: %w", ph.name, err)
 		}
+		sp.Finish()
 		rep.Phases = append(rep.Phases, PhaseTiming{Name: ph.name, Duration: time.Since(t0), Ops: ph.ops})
 	}
 	rep.Total = time.Since(start)
@@ -218,17 +262,38 @@ func parallel(ctx context.Context, fns []func() error) error {
 	return first
 }
 
-func (c *Controller) transceiverPhase(ctx context.Context, ops []TransceiverOp, op string) error {
-	fns := make([]func() error, 0, len(ops))
+// transceiverPhase executes per-transceiver operations grouped by device:
+// devices run concurrently, while a device's own ops run in sequence —
+// which is how the transport behaves anyway, since one Client serialises
+// its calls. The grouping gives each device one span covering all of its
+// ops in the phase.
+func (c *Controller) transceiverPhase(ctx context.Context, sp *trace.Span, ops []TransceiverOp, op string) error {
+	byDev := make(map[string][]TransceiverOp)
 	for _, o := range ops {
-		o := o
+		byDev[o.Device] = append(byDev[o.Device], o)
+	}
+	fns := make([]func() error, 0, len(byDev))
+	for dev, group := range byDev {
+		dev, group := dev, group
 		fns = append(fns, func() error {
-			args := map[string]any{"idx": o.Idx}
-			if op == "tune" {
-				args["wavelength"] = o.Wavelength
+			dsp := sp.Child(op)
+			dsp.SetDevice(dev)
+			for _, o := range group {
+				args := map[string]any{"idx": o.Idx}
+				if op == "tune" {
+					args["wavelength"] = o.Wavelength
+				}
+				if _, err := c.Call(dev, op, args); err != nil {
+					dsp.Fail(err)
+					if isDeadline(err) {
+						dsp.SetAttr("deadline_exceeded")
+					}
+					dsp.Finish()
+					return err
+				}
 			}
-			_, err := c.Call(o.Device, op, args)
-			return err
+			dsp.Finish()
+			return nil
 		})
 	}
 	return parallel(ctx, fns)
@@ -239,7 +304,7 @@ func (c *Controller) transceiverPhase(ctx context.Context, ops []TransceiverOp, 
 // each direction, operations are batched per device — the physical switch
 // settles all of a batch's mirrors in one window — and devices run
 // concurrently.
-func (c *Controller) switchPhase(ctx context.Context, ops []OSSOp) error {
+func (c *Controller) switchPhase(ctx context.Context, sp *trace.Span, ops []OSSOp) error {
 	discByDev := make(map[string][]int)
 	type xc struct{ in, out int }
 	connByDev := make(map[string][]xc)
@@ -255,7 +320,7 @@ func (c *Controller) switchPhase(ctx context.Context, ops []OSSOp) error {
 	for dev, ins := range discByDev {
 		dev, ins := dev, ins
 		disc = append(disc, func() error {
-			_, err := c.Call(dev, "disconnect-batch", map[string]any{"ins": ins})
+			_, err := c.tracedCall(sp, dev, "disconnect-batch", map[string]any{"ins": ins})
 			return err
 		})
 	}
@@ -272,14 +337,14 @@ func (c *Controller) switchPhase(ctx context.Context, ops []OSSOp) error {
 			for i, x := range xcs {
 				ins[i], outs[i] = x.in, x.out
 			}
-			_, err := c.Call(dev, "connect-batch", map[string]any{"ins": ins, "outs": outs})
+			_, err := c.tracedCall(sp, dev, "connect-batch", map[string]any{"ins": ins, "outs": outs})
 			return err
 		})
 	}
 	return parallel(ctx, conn)
 }
 
-func (c *Controller) ampPhase(ctx context.Context, ops []AmpOp) error {
+func (c *Controller) ampPhase(ctx context.Context, sp *trace.Span, ops []AmpOp) error {
 	fns := make([]func() error, 0, len(ops))
 	for _, o := range ops {
 		o := o
@@ -288,14 +353,14 @@ func (c *Controller) ampPhase(ctx context.Context, ops []AmpOp) error {
 			if o.Enable {
 				op = "enable"
 			}
-			_, err := c.Call(o.Device, op, nil)
+			_, err := c.tracedCall(sp, o.Device, op, nil)
 			return err
 		})
 	}
 	return parallel(ctx, fns)
 }
 
-func (c *Controller) fillPhase(ctx context.Context, ops []FillOp) error {
+func (c *Controller) fillPhase(ctx context.Context, sp *trace.Span, ops []FillOp) error {
 	fns := make([]func() error, 0, len(ops))
 	for _, o := range ops {
 		o := o
@@ -304,7 +369,7 @@ func (c *Controller) fillPhase(ctx context.Context, ops []FillOp) error {
 			for i, ch := range o.Channels {
 				chans[i] = ch
 			}
-			_, err := c.Call(o.Device, "fill", map[string]any{"channels": chans})
+			_, err := c.tracedCall(sp, o.Device, "fill", map[string]any{"channels": chans})
 			return err
 		})
 	}
@@ -329,8 +394,17 @@ type Expected struct {
 // Audit fetches every device's state and compares it to the expectation,
 // returning an error describing the first mismatch.
 func (c *Controller) Audit(exp Expected) error {
+	return c.AuditCtx(context.Background(), exp)
+}
+
+// AuditCtx is Audit with span plumbing: when ctx carries a span, every
+// device-state fetch is recorded as a per-device child, so an audit
+// appears in the flight recorder alongside the reconfiguration it
+// verifies.
+func (c *Controller) AuditCtx(ctx context.Context, exp Expected) error {
+	sp := trace.FromContext(ctx)
 	for dev, want := range exp.Cross {
-		st, err := c.Call(dev, "state", nil)
+		st, err := c.tracedCall(sp, dev, "state", nil)
 		if err != nil {
 			return err
 		}
@@ -349,7 +423,7 @@ func (c *Controller) Audit(exp Expected) error {
 		}
 	}
 	for dev, want := range exp.Tuned {
-		st, err := c.Call(dev, "state", nil)
+		st, err := c.tracedCall(sp, dev, "state", nil)
 		if err != nil {
 			return err
 		}
@@ -359,7 +433,7 @@ func (c *Controller) Audit(exp Expected) error {
 		}
 	}
 	for dev, want := range exp.Enabled {
-		st, err := c.Call(dev, "state", nil)
+		st, err := c.tracedCall(sp, dev, "state", nil)
 		if err != nil {
 			return err
 		}
@@ -369,7 +443,7 @@ func (c *Controller) Audit(exp Expected) error {
 		}
 	}
 	for dev, want := range exp.Filled {
-		st, err := c.Call(dev, "state", nil)
+		st, err := c.tracedCall(sp, dev, "state", nil)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ import (
 	"iris/internal/hose"
 	"iris/internal/parallel"
 	"iris/internal/plan"
+	"iris/internal/trace"
 	"iris/internal/traffic"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// Parallelism bounds how many regions PlanMany plans concurrently:
 	// 0 means GOMAXPROCS, 1 is fully serial. Plan ignores it.
 	Parallelism int
+	// Span, when non-nil, receives the planner's per-stage child spans
+	// (see plan.Input.Span). PlanMany ignores it: concurrent regions
+	// would interleave children under one parent.
+	Span *trace.Span
 }
 
 // Deployment is a fully planned region: topology, capacity, optical
@@ -62,6 +67,7 @@ func Plan(region Region, opts Options) (*Deployment, error) {
 		Capacity:    region.Capacity,
 		Lambda:      region.Lambda,
 		MaxFailures: opts.MaxFailures,
+		Span:        opts.Span,
 	})
 	if err != nil {
 		return nil, err
@@ -86,6 +92,7 @@ func Plan(region Region, opts Options) (*Deployment, error) {
 // error names the lowest-index failing region and no deployments are
 // returned.
 func PlanMany(regions []Region, opts Options) ([]*Deployment, error) {
+	opts.Span = nil // concurrent regions would interleave children under one parent
 	deps := make([]*Deployment, len(regions))
 	err := parallel.ForEach(len(regions), opts.Parallelism, func(i int) error {
 		dep, err := Plan(regions[i], opts)

@@ -26,14 +26,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iris/internal/control"
 	"iris/internal/core"
 	"iris/internal/fabric"
 	"iris/internal/telemetry"
+	"iris/internal/trace"
 	"iris/internal/traffic"
 )
 
@@ -64,19 +68,31 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Now is the clock (time.Now if nil; tests inject a fake).
 	Now func() time.Time
-	// Logf, when set, receives one line per notable event.
-	Logf func(format string, args ...any)
+	// Logger receives structured logs (silent if nil). The daemon tags
+	// every record with component=daemon and reconfiguration-scoped
+	// records with reconfig_id.
+	Logger *slog.Logger
+	// Tracer is the flight recorder every reconfiguration, audit and
+	// breaker transition is journaled into (nil disables tracing; the
+	// /debug endpoints then serve empty results).
+	Tracer *trace.Tracer
 }
 
 // Daemon is the regional control loop. Construct with New, drive with Run
 // (or Step/ProbeOnce directly in tests), observe via Handler/Status.
 type Daemon struct {
-	cfg  Config
-	ctl  *control.Controller
-	feed traffic.Source
-	reg  *telemetry.Registry
-	now  func() time.Time
-	logf func(format string, args ...any)
+	cfg    Config
+	ctl    *control.Controller
+	feed   traffic.Source
+	reg    *telemetry.Registry
+	now    func() time.Time
+	log    *slog.Logger
+	tracer *trace.Tracer
+
+	// fallbackID hands out reconfig IDs when no tracer is configured (a
+	// live tracer's ID space is used instead, so span and trace IDs never
+	// collide between the daemon and other instrumented subsystems).
+	fallbackID atomic.Uint64
 
 	// mu guards the control-loop state below. The fabric pointed to by fab
 	// is never mutated while installed — changes are compiled on clones —
@@ -93,6 +109,10 @@ type Daemon struct {
 	lastAuditAt time.Time
 	lastAuditOK bool
 	lastGoodAt  time.Time // last successful convergence
+	// lastReconfigID is the trace ID of the last reconfiguration whose
+	// change the devices accepted — the handle for
+	// /debug/events?reconfig=<id>.
+	lastReconfigID uint64
 
 	// hmu guards per-device breaker state and the jitter source.
 	hmu    sync.Mutex
@@ -121,6 +141,7 @@ type metricsSet struct {
 	breakerState      *telemetry.GaugeVec
 	staleness         *telemetry.Gauge
 	circuits          *telemetry.Gauge
+	planStageSeconds  *telemetry.HistogramVec
 }
 
 // latencyBuckets cover sub-millisecond emulated phases up to multi-second
@@ -149,13 +170,14 @@ func New(cfg Config) (*Daemon, error) {
 		cfg.BackoffMax = 30 * time.Second
 	}
 	d := &Daemon{
-		cfg:  cfg,
-		ctl:  cfg.Controller,
-		feed: cfg.Feed,
-		reg:  cfg.Registry,
-		now:  cfg.Now,
-		logf: cfg.Logf,
-		fab:  cfg.Fab,
+		cfg:    cfg,
+		ctl:    cfg.Controller,
+		feed:   cfg.Feed,
+		reg:    cfg.Registry,
+		now:    cfg.Now,
+		log:    cfg.Logger,
+		tracer: cfg.Tracer,
+		fab:    cfg.Fab,
 	}
 	if d.reg == nil {
 		d.reg = telemetry.NewRegistry()
@@ -163,15 +185,24 @@ func New(cfg Config) (*Daemon, error) {
 	if d.now == nil {
 		d.now = time.Now
 	}
-	if d.logf == nil {
-		d.logf = func(string, ...any) {}
+	if d.log == nil {
+		d.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	d.log = d.log.With("component", "daemon")
 	d.rng = rand.New(rand.NewSource(cfg.Seed))
 	d.health = make(map[string]*deviceHealth)
 	d.initMetrics()
 	for _, name := range d.ctl.Devices() {
 		d.health[name] = &deviceHealth{}
 		d.m.breakerState.With(name).Set(0)
+	}
+	// The bring-up plan's Algorithm-1 stage timings are the region's
+	// planning cost; exposing them beside the reconfiguration phases lets
+	// one scrape correlate plan and control-plane latency.
+	if pl := cfg.Fab.Deployment().Plan; pl != nil {
+		for _, st := range pl.Stages {
+			d.m.planStageSeconds.With(st.Stage).Observe(st.Duration.Seconds())
+		}
 	}
 	return d, nil
 }
@@ -196,6 +227,7 @@ func (d *Daemon) initMetrics() {
 	d.m.breakerState = r.GaugeVec("iris_breaker_state", "Breaker state per device: 0 closed, 1 half-open, 2 open.", "device")
 	d.m.staleness = r.Gauge("iris_allocation_staleness_seconds", "Age of the last successful convergence.")
 	d.m.circuits = r.Gauge("iris_circuits_active", "Active circuits (full + residual).")
+	d.m.planStageSeconds = r.HistogramVec("iris_plan_stage_seconds", "Per-stage planner latency (route, amps, cutthrough, provision, total) from Algorithm 1.", "stage", latencyBuckets)
 }
 
 // Registry returns the daemon's metrics registry.
@@ -219,11 +251,11 @@ func (d *Daemon) Run(ctx context.Context) error {
 	for {
 		select {
 		case <-ctx.Done():
-			d.logf("shutdown: control loop drained")
+			d.log.Info("shutdown: control loop drained")
 			return nil
 		case <-stepTick.C:
 			if d.Step() {
-				d.logf("traffic feed exhausted; exiting")
+				d.log.Info("traffic feed exhausted; exiting")
 				return nil
 			}
 		case <-probeTick.C:
@@ -270,15 +302,29 @@ func (d *Daemon) Step() (done bool) {
 	}
 	if err := d.converge(pending); err != nil {
 		d.setErr(err.Error())
-		d.logf("step: %v", err)
+		d.log.Warn("step failed", "err", err)
 		return false
 	}
 	d.setErr("")
 	return false
 }
 
+// nextTraceID allocates a reconfiguration (or repair) trace ID. With a
+// live tracer the tracer's ID space is used so trace IDs never collide
+// with other instrumented subsystems sharing the recorder; without one, a
+// private counter keeps /status's reconfig IDs meaningful.
+func (d *Daemon) nextTraceID() uint64 {
+	if id := d.tracer.NextID(); id != 0 {
+		return id
+	}
+	return d.fallbackID.Add(1)
+}
+
 // converge allocates circuits for the matrix and executes the change that
-// moves the devices there, transactionally against a fabric clone.
+// moves the devices there, transactionally against a fabric clone. Every
+// device reconfiguration gets a reconfig ID: the root span of a trace
+// that is threaded through the controller's phases, the closing audit,
+// and any breaker penalty the failure attribution produces.
 func (d *Daemon) converge(tm *traffic.Matrix) error {
 	d.mu.Lock()
 	fab, lkg, haveLKG := d.fab, d.lkg, d.haveLKG
@@ -300,22 +346,37 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 		return nil
 	}
 
+	id := d.nextTraceID()
+	log := d.log.With("reconfig_id", id)
+	root := d.tracer.Start(id, "reconfig")
+	ctx := trace.ContextWith(context.Background(), root)
+
+	csp := root.Child("compile")
 	clone := fab.Clone()
 	ch, err := clone.CompileTarget(alloc)
 	if err != nil {
+		csp.Fail(err)
+		csp.Finish()
+		root.Fail(err)
+		root.Finish()
 		d.dropPending()
 		return fmt.Errorf("compile: %w", err)
 	}
-	rep, err := d.ctl.Reconfigure(context.Background(), ch)
+	csp.Finish()
+
+	rep, err := d.ctl.Reconfigure(ctx, ch)
 	if err != nil {
 		// The devices may be partially reconfigured; keep the old fabric
 		// as intent (the clone is discarded), penalise the culprit, and
 		// reconcile once the region is healthy again.
 		d.m.reconfigFailures.Inc()
-		d.penalize(err)
+		d.penalizeIn(id, err)
 		d.mu.Lock()
 		d.needRepair = true
 		d.mu.Unlock()
+		root.Fail(err)
+		root.Finish()
+		log.Error("reconfiguration aborted", "err", err)
 		return fmt.Errorf("reconfigure: %w", err)
 	}
 	ops := 0
@@ -333,42 +394,63 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	d.haveLKG = true
 	d.pending = nil
 	d.lastGoodAt = d.now()
+	d.lastReconfigID = id
 	d.mu.Unlock()
 	d.m.circuits.Set(float64(clone.CircuitCount()))
-	d.logf("converged: %d ops in %v", ops, rep.Total.Round(time.Microsecond))
-	return d.runAudit()
+	log.Info("converged", "ops", ops, "total", rep.Total.Round(time.Microsecond))
+	err = d.runAudit(ctx, id)
+	root.Fail(err)
+	root.Finish()
+	return err
 }
 
 // repair runs the anti-entropy pass: fetch every device's state, compute
-// the change that restores the fabric's intent, execute and re-audit.
+// the change that restores the fabric's intent, execute and re-audit. The
+// pass gets its own trace ("repair" root) so a reconciliation's state
+// fetches and reconfiguration phases are journaled like a convergence.
 func (d *Daemon) repair() error {
 	d.mu.Lock()
 	fab := d.fab
 	d.mu.Unlock()
 
+	id := d.nextTraceID()
+	root := d.tracer.Start(id, "repair")
+	ctx := trace.ContextWith(context.Background(), root)
+	err := d.repairIn(ctx, id, fab)
+	root.Fail(err)
+	root.Finish()
+	return err
+}
+
+func (d *Daemon) repairIn(ctx context.Context, id uint64, fab *fabric.Fabric) error {
+	root := trace.FromContext(ctx)
 	states := make(map[string]map[string]any)
+	fsp := root.Child("fetch-state")
 	for _, name := range d.ctl.Devices() {
 		st, err := d.ctl.Call(name, "state", nil)
 		if err != nil {
-			d.penalize(err)
+			d.penalizeIn(id, err)
+			fsp.Fail(err)
+			fsp.Finish()
 			return fmt.Errorf("repair: state of %s: %w", name, err)
 		}
 		states[name] = st
 	}
+	fsp.Finish()
 	ch, err := fab.Reconcile(states)
 	if err != nil {
 		return fmt.Errorf("repair: %w", err)
 	}
 	if !fabric.EmptyChange(ch) {
 		d.m.reconciles.Inc()
-		if _, err := d.ctl.Reconfigure(context.Background(), ch); err != nil {
+		if _, err := d.ctl.Reconfigure(ctx, ch); err != nil {
 			d.m.reconcileFailures.Inc()
-			d.penalize(err)
+			d.penalizeIn(id, err)
 			return fmt.Errorf("repair reconfigure: %w", err)
 		}
-		d.logf("repair: reconciled devices to last-known-good intent")
+		d.log.Info("repair: reconciled devices to last-known-good intent", "reconfig_id", id)
 	}
-	if err := d.runAudit(); err != nil {
+	if err := d.runAudit(ctx, id); err != nil {
 		return err
 	}
 	d.mu.Lock()
@@ -383,14 +465,18 @@ func (d *Daemon) repair() error {
 	return nil
 }
 
-// runAudit checks device state against intent and records the result. An
-// audit mismatch schedules a repair.
-func (d *Daemon) runAudit() error {
+// runAudit checks device state against intent and records the result as
+// an "audit" span under whatever span ctx carries (the reconfig or repair
+// root). An audit mismatch schedules a repair.
+func (d *Daemon) runAudit(ctx context.Context, traceID uint64) error {
 	d.mu.Lock()
 	fab := d.fab
 	d.mu.Unlock()
 	d.m.audits.Inc()
-	err := d.ctl.Audit(fab.Expected())
+	sp := trace.FromContext(ctx).Child("audit")
+	err := d.ctl.AuditCtx(trace.ContextWith(ctx, sp), fab.Expected())
+	sp.Fail(err)
+	sp.Finish()
 	d.mu.Lock()
 	d.lastAuditAt = d.now()
 	d.lastAuditOK = err == nil
@@ -400,7 +486,7 @@ func (d *Daemon) runAudit() error {
 	d.mu.Unlock()
 	if err != nil {
 		d.m.auditFailures.Inc()
-		d.penalize(err)
+		d.penalizeIn(traceID, err)
 		return fmt.Errorf("audit: %w", err)
 	}
 	return nil
@@ -441,9 +527,10 @@ func (d *Daemon) Audit() error {
 	return d.ctl.Audit(fab.Expected())
 }
 
-// penalize attributes an error to the device that caused it and advances
-// that device's breaker.
-func (d *Daemon) penalize(err error) {
+// penalizeIn attributes an error to the device that caused it and
+// advances that device's breaker, journaling any trip under the given
+// trace (the reconfiguration or repair that surfaced the failure).
+func (d *Daemon) penalizeIn(traceID uint64, err error) {
 	var de *control.DeviceError
 	if !errors.As(err, &de) {
 		return
@@ -454,5 +541,5 @@ func (d *Daemon) penalize(err error) {
 	if !ok {
 		return
 	}
-	d.recordFailureLocked(de.Device, h, de)
+	d.recordFailureLocked(traceID, de.Device, h, de)
 }

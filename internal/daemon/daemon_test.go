@@ -1,9 +1,12 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -12,8 +15,21 @@ import (
 	"iris/internal/control"
 	"iris/internal/fabric"
 	"iris/internal/hose"
+	"iris/internal/trace"
 	"iris/internal/traffic"
 )
+
+// testLogger routes the daemon's structured logs into t.Logf.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // toyRig brings up the toy region; opts may adjust the bring-up (fault
 // wrappers, transport deadlines).
@@ -200,7 +216,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 		Feed:          feed,
 		Interval:      5 * time.Millisecond,
 		ProbeInterval: 3 * time.Millisecond,
-		Logf:          t.Logf,
+		Logger:        testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -244,5 +260,219 @@ func TestDialOptionsOnRig(t *testing.T) {
 	d.Step()
 	if err := d.Audit(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReconfigTraceTree is the deterministic end-to-end trace test: a
+// live flight recorder is threaded from bring-up through two traffic
+// shifts, then the second reconfiguration's span tree is pulled from the
+// recorder and over HTTP and checked for the full ordered §5.2 sequence
+// with per-device children.
+func TestReconfigTraceTree(t *testing.T) {
+	tracer := trace.New(4096)
+	rig := toyRig(t, func(cfg *fabric.BringUpConfig) { cfg.Tracer = tracer })
+	feed := traffic.NewReplay(
+		toyMatrix(rig, 60, 45),
+		toyMatrix(rig, 20, 95), // forces fiber moves: drains carry real ops
+	)
+	d, err := New(Config{
+		Fab:        rig.Fab,
+		Controller: rig.Testbed.Controller,
+		Feed:       feed,
+		Tracer:     tracer,
+		Logger:     testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ProbeOnce()
+	for i := 0; i < 2; i++ {
+		if done := d.Step(); done {
+			t.Fatalf("feed exhausted after %d shifts", i)
+		}
+	}
+	st := d.Status()
+	if st.LastReconfigID == 0 {
+		t.Fatal("status has no last reconfig ID")
+	}
+
+	checkTree := func(roots []*trace.Node) {
+		t.Helper()
+		if len(roots) != 1 {
+			t.Fatalf("got %d roots, want 1", len(roots))
+		}
+		root := roots[0]
+		if root.Name != "reconfig" || root.TraceID != st.LastReconfigID {
+			t.Fatalf("root = %q trace %d, want reconfig trace %d", root.Name, root.TraceID, st.LastReconfigID)
+		}
+		var names []string
+		devChildren := 0
+		for _, c := range root.Children {
+			names = append(names, c.Name)
+			for _, dc := range c.Children {
+				if dc.Device == "" {
+					t.Errorf("child %q of phase %q has no device attribution", dc.Name, c.Name)
+				}
+				if dc.DurationMS < 0 {
+					t.Errorf("device span %q has negative duration", dc.Name)
+				}
+				devChildren++
+			}
+		}
+		want := "compile,drain,switch,amps,retune,fill,undrain,audit"
+		if got := strings.Join(names, ","); got != want {
+			t.Fatalf("phase order %q, want %q", got, want)
+		}
+		if devChildren == 0 {
+			t.Fatal("no per-device spans recorded under any phase")
+		}
+	}
+
+	// Straight from the recorder.
+	checkTree(d.DebugEvents(st.LastReconfigID).Tree)
+
+	// Over HTTP, exactly as an operator would pull it.
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(fmt.Sprintf("%s/debug/events?reconfig=%d", srv.URL, st.LastReconfigID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump EventsDump
+	if err := json.NewDecoder(res.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if dump.ReconfigID != st.LastReconfigID {
+		t.Errorf("dump echoes reconfig %d, want %d", dump.ReconfigID, st.LastReconfigID)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("/debug/events returned no events")
+	}
+	checkTree(dump.Tree)
+
+	// /debug/trace serves assembled trees for the most recent traces.
+	res, err = srv.Client().Get(srv.URL + "/debug/trace?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trees []*trace.Node
+	if err := json.NewDecoder(res.Body).Decode(&trees); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	checkTree(trees)
+
+	// /status carries the reconfig ID and per-device breaker timestamps
+	// are absent until a first transition.
+	res, err = srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Status
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if got.LastReconfigID != st.LastReconfigID {
+		t.Errorf("/status last_reconfig_id = %d, want %d", got.LastReconfigID, st.LastReconfigID)
+	}
+	for _, ds := range got.Devices {
+		if ds.BreakerSince != nil {
+			t.Errorf("device %s has breaker_since with no transitions", ds.Name)
+		}
+	}
+
+	// /metrics: the reconfiguration phases and the bring-up plan's
+	// Algorithm-1 stages are both populated.
+	res, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`iris_reconfig_phase_seconds_count{phase="drain"} 2`,
+		`iris_reconfig_phase_seconds_count{phase="switch"} 2`,
+		`iris_reconfig_phase_seconds_count{phase="retune"} 2`,
+		`iris_reconfig_phase_seconds_count{phase="undrain"} 2`,
+		`iris_plan_stage_seconds_count{stage="route"} 1`,
+		`iris_plan_stage_seconds_count{stage="provision"} 1`,
+		`iris_plan_stage_seconds_count{stage="total"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The bring-up plan trace is in the recorder too: a "plan" root with
+	// Algorithm-1 stage children.
+	var planRoot *trace.Node
+	for _, n := range tracer.Traces(100) {
+		if n.Name == "plan" {
+			planRoot = n
+		}
+	}
+	if planRoot == nil {
+		t.Fatal("no plan trace recorded at bring-up")
+	}
+	stages := make(map[string]bool)
+	for _, c := range planRoot.Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"route", "amps", "cutthrough", "provision", "total"} {
+		if !stages[want] {
+			t.Errorf("plan trace missing stage %q (have %v)", want, stages)
+		}
+	}
+}
+
+// TestBreakerSinceAndTraceEvents checks that breaker transitions stamp
+// /status timestamps and land in the flight recorder as instant events.
+func TestBreakerSinceAndTraceEvents(t *testing.T) {
+	tracer := trace.New(256)
+	rig, shims := faultRig(t, nil)
+	d, err := New(Config{
+		Fab:              rig.Fab,
+		Controller:       rig.Testbed.Controller,
+		Feed:             traffic.NewReplay(toyMatrix(rig, 60, 45)),
+		FailureThreshold: 1,
+		Tracer:           tracer,
+		Logger:           testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ProbeOnce()
+	for _, ds := range d.Status().Devices {
+		if ds.BreakerSince != nil {
+			t.Errorf("healthy device %s already has breaker_since", ds.Name)
+		}
+	}
+
+	victim := pickVictim(rig)
+	shims[victim].set(true, 0)
+	d.ProbeOnce()
+
+	if got := breakerOf(t, d, victim); got != "open" {
+		t.Fatalf("breaker = %q after failed probe at threshold 1, want open", got)
+	}
+	for _, ds := range d.Status().Devices {
+		if ds.Name == victim && ds.BreakerSince == nil {
+			t.Error("open breaker has no breaker_since timestamp")
+		}
+	}
+	var flips int
+	for _, ev := range tracer.Events(trace.Filter{}) {
+		if ev.Name == "breaker" && ev.Device == victim && ev.Attr == "open" {
+			flips++
+		}
+	}
+	if flips != 1 {
+		t.Errorf("recorder has %d breaker-open events for %s, want 1", flips, victim)
 	}
 }

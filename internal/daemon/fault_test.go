@@ -132,7 +132,7 @@ func TestBreakerTripAndRecovery(t *testing.T) {
 		Seed:             1,
 		Registry:         reg,
 		Now:              clock.Now,
-		Logf:             t.Logf,
+		Logger:           testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -266,7 +266,7 @@ func TestHungDeviceTripsBreaker(t *testing.T) {
 		BackoffMax:       50 * time.Millisecond,
 		Seed:             1,
 		Now:              clock.Now,
-		Logf:             t.Logf,
+		Logger:           testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

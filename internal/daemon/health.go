@@ -34,10 +34,24 @@ func (s breakerState) String() string {
 
 type deviceHealth struct {
 	state       breakerState
+	since       time.Time // when state last transitioned (zero = never)
 	consecFails int
 	cooldown    time.Duration // next quarantine length (pre-jitter)
 	openUntil   time.Time
 	lastErr     string
+}
+
+// transitionLocked moves a device's breaker to a new state, stamping the
+// transition time, updating the gauge, and journaling the flip as an
+// instant event in the flight recorder. Callers hold d.hmu.
+func (d *Daemon) transitionLocked(traceID uint64, name string, h *deviceHealth, to breakerState) {
+	if h.state == to {
+		return
+	}
+	h.state = to
+	h.since = d.now()
+	d.m.breakerState.With(name).Set(float64(to)) // iota order matches the gauge encoding
+	d.tracer.Emit(traceID, "breaker", name, to.String())
 }
 
 // ProbeOnce probes every non-quarantined device concurrently and advances
@@ -72,8 +86,7 @@ func (d *Daemon) admitProbe(name string) bool {
 		if d.now().Before(h.openUntil) {
 			return false // still quarantined
 		}
-		h.state = breakerHalfOpen
-		d.m.breakerState.With(name).Set(1)
+		d.transitionLocked(0, name, h, breakerHalfOpen)
 	}
 	return true
 }
@@ -86,22 +99,23 @@ func (d *Daemon) probe(name string) {
 	h := d.health[name]
 	if err == nil {
 		if h.state != breakerClosed {
-			d.logf("device %s healthy; breaker closed", name)
+			d.log.Info("device healthy; breaker closed", "device", name)
 		}
-		h.state = breakerClosed
+		d.transitionLocked(0, name, h, breakerClosed)
 		h.consecFails = 0
 		h.cooldown = 0
 		h.lastErr = ""
-		d.m.breakerState.With(name).Set(0)
 		return
 	}
 	d.m.probeFailures.With(name).Inc()
-	d.recordFailureLocked(name, h, err)
+	d.recordFailureLocked(0, name, h, err)
 }
 
 // recordFailureLocked registers one failure against a device and trips or
-// re-trips its breaker when warranted. Callers hold d.hmu.
-func (d *Daemon) recordFailureLocked(name string, h *deviceHealth, err error) {
+// re-trips its breaker when warranted. traceID attributes the failure to
+// the reconfiguration or repair that surfaced it (0 for health probes).
+// Callers hold d.hmu.
+func (d *Daemon) recordFailureLocked(traceID uint64, name string, h *deviceHealth, err error) {
 	h.consecFails++
 	h.lastErr = err.Error()
 	if h.state != breakerHalfOpen && h.consecFails < d.cfg.FailureThreshold {
@@ -122,11 +136,12 @@ func (d *Daemon) recordFailureLocked(name string, h *deviceHealth, err error) {
 	h.openUntil = d.now().Add(quarantine)
 	if h.state != breakerOpen {
 		d.m.breakerTrips.With(name).Inc()
-		d.logf("breaker open for %s (%d consecutive failures, retry in %v): %v",
-			name, h.consecFails, quarantine.Round(time.Millisecond), err)
+		d.log.Warn("breaker open",
+			"device", name, "consecutive_failures", h.consecFails,
+			"retry_in", quarantine.Round(time.Millisecond), "err", err,
+			"reconfig_id", traceID)
 	}
-	h.state = breakerOpen
-	d.m.breakerState.With(name).Set(2)
+	d.transitionLocked(traceID, name, h, breakerOpen)
 }
 
 // Healthy reports whether every device breaker is closed. While any is

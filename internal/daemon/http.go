@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"iris/internal/hose"
+	"iris/internal/trace"
 )
 
 // Status is the daemon's introspection snapshot, served as JSON on
@@ -25,6 +27,9 @@ type Status struct {
 	// convergence.
 	AllocationAgeSeconds float64 `json:"allocation_age_seconds"`
 	PendingShift         bool    `json:"pending_shift"`
+	// LastReconfigID is the reconfig ID of the last change the devices
+	// accepted — the handle for /debug/events?reconfig=<id>.
+	LastReconfigID uint64 `json:"last_reconfig_id,omitempty"`
 
 	Circuits   int              `json:"circuits"`
 	Allocation []PairAllocation `json:"allocation,omitempty"`
@@ -41,11 +46,14 @@ type PairAllocation struct {
 
 // DeviceStatus is one device's supervision state.
 type DeviceStatus struct {
-	Name                string  `json:"name"`
-	Breaker             string  `json:"breaker"`
-	ConsecutiveFailures int     `json:"consecutive_failures"`
-	LastError           string  `json:"last_error,omitempty"`
-	RetryInSeconds      float64 `json:"retry_in_seconds,omitempty"`
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"`
+	// BreakerSince is when the breaker last changed state (absent until
+	// the first transition).
+	BreakerSince        *time.Time `json:"breaker_since,omitempty"`
+	ConsecutiveFailures int        `json:"consecutive_failures"`
+	LastError           string     `json:"last_error,omitempty"`
+	RetryInSeconds      float64    `json:"retry_in_seconds,omitempty"`
 }
 
 // Status snapshots the daemon's current intent and device supervision
@@ -87,6 +95,7 @@ func (d *Daemon) Status() Status {
 		}
 	}
 	st.PendingShift = d.pending != nil
+	st.LastReconfigID = d.lastReconfigID
 	st.Circuits = d.fab.CircuitCount()
 	d.mu.Unlock()
 	sort.Slice(st.Allocation, func(i, j int) bool {
@@ -111,6 +120,10 @@ func (d *Daemon) Status() Status {
 			ConsecutiveFailures: h.consecFails,
 			LastError:           h.lastErr,
 		}
+		if !h.since.IsZero() {
+			since := h.since
+			ds.BreakerSince = &since
+		}
 		if h.state == breakerOpen && h.openUntil.After(now) {
 			ds.RetryInSeconds = h.openUntil.Sub(now).Seconds()
 		}
@@ -126,22 +139,52 @@ func (d *Daemon) Status() Status {
 	return st
 }
 
+// EventsDump is the /debug/events payload: the flight recorder's raw
+// events plus, when filtered to one trace, the assembled span tree.
+type EventsDump struct {
+	// ReconfigID echoes the ?reconfig= filter (0 = unfiltered dump).
+	ReconfigID uint64        `json:"reconfig_id,omitempty"`
+	Events     []trace.Event `json:"events"`
+	// Tree is the span forest assembled from Events (roots only when
+	// filtered; omitted for the firehose dump to keep it cheap).
+	Tree []*trace.Node `json:"tree,omitempty"`
+}
+
+// DebugEvents snapshots the flight recorder, optionally filtered to one
+// reconfiguration's trace.
+func (d *Daemon) DebugEvents(reconfigID uint64) EventsDump {
+	dump := EventsDump{
+		ReconfigID: reconfigID,
+		Events:     d.tracer.Events(trace.Filter{TraceID: reconfigID}),
+	}
+	if reconfigID != 0 {
+		dump.Tree = trace.Tree(dump.Events)
+	}
+	return dump
+}
+
 // Handler returns the daemon's HTTP surface:
 //
-//	GET /metrics — Prometheus text exposition of the daemon's metrics
-//	GET /status  — Status as JSON
-//	GET /healthz — 200 while healthy and repaired, 503 while degraded
+//	GET /metrics       — Prometheus text exposition of the daemon's metrics
+//	GET /status        — Status as JSON
+//	GET /healthz       — 200 while healthy and repaired, 503 while degraded
+//	GET /debug/events  — flight-recorder dump; ?reconfig=<id> filters to one
+//	                     trace and includes its assembled span tree
+//	GET /debug/trace   — last-N span trees (?n=, default 5), oldest first
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = d.reg.WriteText(w)
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(d.Status())
+		writeJSON(w, d.Status())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := d.Status()
@@ -152,6 +195,34 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("degraded\n"))
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		var id uint64
+		if v := r.URL.Query().Get("reconfig"); v != "" {
+			parsed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad reconfig id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			id = parsed
+		}
+		writeJSON(w, d.DebugEvents(id))
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 5
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		trees := d.tracer.Traces(n)
+		if trees == nil {
+			trees = []*trace.Node{}
+		}
+		writeJSON(w, trees)
 	})
 	return mux
 }

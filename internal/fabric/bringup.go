@@ -7,6 +7,7 @@ import (
 	"iris/internal/control"
 	"iris/internal/core"
 	"iris/internal/fibermap"
+	"iris/internal/trace"
 )
 
 // BringUpConfig describes a region to plan and materialise into a live
@@ -29,6 +30,9 @@ type BringUpConfig struct {
 	// WrapDevice, when non-nil, may replace each emulated device before it
 	// is served — the hook for fault injection and instrumentation.
 	WrapDevice func(name string, dev control.Device) control.Device
+	// Tracer, when non-nil, journals the bring-up plan as a "plan" trace
+	// with one child per Algorithm-1 stage.
+	Tracer *trace.Tracer
 }
 
 // Rig is a materialised region: the planned deployment, its fabric, and a
@@ -61,7 +65,10 @@ func BringUp(cfg BringUpConfig) (*Rig, error) {
 	for _, dc := range m.DCs() {
 		caps[dc] = cfg.DCCapacity
 	}
-	dep, err := core.Plan(core.Region{Map: m, Capacity: caps, Lambda: cfg.Lambda}, core.Options{})
+	sp := cfg.Tracer.Start(cfg.Tracer.NextID(), "plan")
+	dep, err := core.Plan(core.Region{Map: m, Capacity: caps, Lambda: cfg.Lambda}, core.Options{Span: sp})
+	sp.Fail(err)
+	sp.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: bringup: %w", err)
 	}

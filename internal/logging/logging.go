@@ -1,0 +1,45 @@
+// Package logging builds the structured slog loggers shared by the Iris
+// binaries: a text or JSON handler at a flag-selected level, tagged with
+// the owning component. It exists so irisd, irisctl, irisplan and
+// irisbench parse -log-level/-log-json identically.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// New returns a logger writing to w at the named level ("debug", "info",
+// "warn", "error"; case-insensitive), as JSON when jsonFormat is set and
+// as logfmt-style text otherwise. Every record carries component.
+func New(w io.Writer, level string, jsonFormat bool, component string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logging: unknown level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h).With("component", component), nil
+}
+
+// Silent returns a logger that discards everything — the default for
+// library consumers that pass no logger.
+func Silent() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

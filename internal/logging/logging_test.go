@@ -1,0 +1,56 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLevelsAndComponent(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "warn", false, "testd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "component=testd") {
+		t.Errorf("warn line missing message or component: %q", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "", true, "irisd") // "" defaults to info
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("converged", "reconfig_id", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "converged" || rec["component"] != "irisd" || rec["reconfig_id"] != float64(7) {
+		t.Errorf("unexpected record: %v", rec)
+	}
+}
+
+func TestBadLevel(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "loud", false, "x"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	for _, lv := range []string{"debug", "Info", "WARN", "warning", "error"} {
+		if _, err := New(&bytes.Buffer{}, lv, false, "x"); err != nil {
+			t.Errorf("level %q rejected: %v", lv, err)
+		}
+	}
+}
+
+func TestSilentDiscards(t *testing.T) {
+	Silent().Error("nothing should happen") // must not panic or write
+}

@@ -25,11 +25,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"iris/internal/fibermap"
 	"iris/internal/graph"
 	"iris/internal/hose"
 	"iris/internal/optics"
+	"iris/internal/trace"
 )
 
 // Input is the planning problem statement.
@@ -57,6 +59,11 @@ type Input struct {
 	// Nil means the planner builds its own. The graph must not be mutated
 	// while shared.
 	Base *graph.Graph
+	// Span, when non-nil, receives one child span per planning stage
+	// (route, amps, cutthrough, provision, total), with durations
+	// aggregated across every failure scenario examined. Nil disables
+	// span recording; Plan.Stages is populated either way.
+	Span *trace.Span
 }
 
 // Validate reports the first problem with the input.
@@ -168,6 +175,19 @@ type SLAViolation struct {
 	TotalKM float64
 }
 
+// StageTiming is the accumulated latency of one Algorithm-1 planning
+// stage, summed across every failure scenario the planner examined.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+	// Calls is how many scenario invocations the duration aggregates.
+	Calls int
+}
+
+// stageOrder fixes the reporting order of Plan.Stages (pipeline order,
+// then the end-to-end total).
+var stageOrder = []string{"route", "amps", "cutthrough", "provision", "total"}
+
 // Plan is the planner output.
 type Plan struct {
 	Input  Input
@@ -178,6 +198,9 @@ type Plan struct {
 	SLA    []SLAViolation
 	Viol   []string // residual optical violations (empty when planning succeeded)
 	NScena int      // failure scenarios examined
+	// Stages holds per-stage planner timings in stageOrder, feeding the
+	// iris_plan_stage_seconds telemetry histograms.
+	Stages []StageTiming
 }
 
 // New plans a region. It returns an error for invalid input or if the
@@ -208,6 +231,39 @@ type planner struct {
 	// hoseCache memoises worst-case hose loads by pair-set signature;
 	// most failure scenarios reproduce the same per-duct pair sets.
 	hoseCache map[string]float64
+	// stages accumulates per-stage wall time across scenarios.
+	stages map[string]*StageTiming
+}
+
+// timeStage adds the elapsed time since start to a stage's accumulator.
+func (p *planner) timeStage(name string, start time.Time) {
+	st := p.stages[name]
+	if st == nil {
+		st = &StageTiming{Stage: name}
+		p.stages[name] = st
+	}
+	st.Duration += time.Since(start)
+	st.Calls++
+}
+
+// finishStages freezes the accumulated stage timings into the plan (in
+// stageOrder) and, when the input carries a span, records one child span
+// per stage with the aggregated duration.
+func (p *planner) finishStages(t0 time.Time) {
+	p.stages["total"] = &StageTiming{Stage: "total", Duration: time.Since(t0), Calls: 1}
+	for _, name := range stageOrder {
+		if st := p.stages[name]; st != nil {
+			p.plan.Stages = append(p.plan.Stages, *st)
+		}
+	}
+	if p.in.Span == nil {
+		return
+	}
+	for _, st := range p.plan.Stages {
+		c := p.in.Span.Child(st.Stage)
+		c.SetAttr(fmt.Sprintf("calls=%d", st.Calls))
+		c.FinishAs(t0, st.Duration)
+	}
 }
 
 // pathRec is the per-scenario routing record for one DC pair.
@@ -224,6 +280,8 @@ type pathRec struct {
 }
 
 func (p *planner) run() (*Plan, error) {
+	t0 := time.Now()
+	p.stages = make(map[string]*StageTiming)
 	m := p.in.Map
 	p.dcs = m.DCs()
 	p.caps = make(map[int]float64, len(p.dcs))
@@ -292,6 +350,7 @@ func (p *planner) run() (*Plan, error) {
 		return nil, err
 	}
 	sortCutThroughs(p)
+	p.finishStages(t0)
 	return p.plan, nil
 }
 
@@ -313,17 +372,28 @@ func (p *planner) scenario(cut map[int]bool) ([]int, error) {
 		g = p.base.WithoutEdges(cut)
 	}
 
+	start := time.Now()
 	paths := p.routeAll(g, cut)
+	p.timeStage("route", start)
+
+	start = time.Now()
 	if err := p.placeAmps(paths); err != nil {
 		return nil, err
 	}
+	p.timeStage("amps", start)
+
+	start = time.Now()
 	if err := p.placeCutThroughs(paths); err != nil {
 		return nil, err
 	}
+	p.timeStage("cutthrough", start)
+
 	// Provisioning runs after cut-through placement: traffic on a
 	// cut-through fiber does not also consume switched base capacity on
 	// the ducts it bypasses.
+	start = time.Now()
 	p.provision(paths)
+	p.timeStage("provision", start)
 	if len(cut) == 0 {
 		p.recordBasePaths(paths)
 	}

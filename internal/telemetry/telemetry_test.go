@@ -131,3 +131,93 @@ func TestConcurrentUseIsRaceFree(t *testing.T) {
 		t.Errorf("hits = %v, want 800", got)
 	}
 }
+
+// TestHistogramInfBucketCumulativeInvariant asserts the exposition
+// invariants Prometheus clients rely on: bucket counts are cumulative and
+// non-decreasing in bound order, and the +Inf bucket always equals
+// <name>_count — including when every observation overflows the largest
+// finite bound, and when a histogram has recorded nothing at all.
+func TestHistogramInfBucketCumulativeInvariant(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("overflow_seconds", "all samples past the last bound", []float64{0.001, 0.01})
+	for i := 0; i < 7; i++ {
+		h.Observe(100) // beyond every finite bucket
+	}
+	r.Histogram("untouched_seconds", "registered, never observed", []float64{1, 2})
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`overflow_seconds_bucket{le="0.001"} 0`,
+		`overflow_seconds_bucket{le="0.01"} 0`,
+		`overflow_seconds_bucket{le="+Inf"} 7`,
+		`overflow_seconds_count 7`,
+		`untouched_seconds_bucket{le="+Inf"} 0`,
+		`untouched_seconds_sum 0`,
+		`untouched_seconds_count 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The +Inf bucket must track _count exactly for a labeled family too,
+	// with the le label composed onto the family label.
+	hv := r.HistogramVec("phase_seconds", "per-phase", "phase", []float64{0.5})
+	hv.With("drain").Observe(0.25)
+	hv.With("drain").Observe(99)
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{
+		`phase_seconds_bucket{phase="drain",le="0.5"} 1`,
+		`phase_seconds_bucket{phase="drain",le="+Inf"} 2`,
+		`phase_seconds_count{phase="drain"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEmptyRegistryDeterminism pins down the exposition of nothing: an
+// empty registry writes zero bytes, and doing so repeatedly — and after
+// registering families with no samples — stays byte-identical between
+// calls, so scrapes never flap on ordering.
+func TestEmptyRegistryDeterminism(t *testing.T) {
+	r := NewRegistry()
+	var a, b strings.Builder
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "" {
+		t.Errorf("empty registry wrote %q, want empty", a.String())
+	}
+
+	// Families with no children still emit HELP/TYPE headers (vecs before
+	// any With) or zero-valued samples (plain collectors), in sorted name
+	// order, identically on every scrape.
+	r.CounterVec("zz_total", "latest name", "device")
+	r.Gauge("aa_depth", "first name")
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("consecutive scrapes differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE aa_depth gauge") || !strings.Contains(out, "# TYPE zz_total counter") {
+		t.Errorf("headers missing from %q", out)
+	}
+	if strings.Index(out, "aa_depth") > strings.Index(out, "zz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}

@@ -1,6 +1,11 @@
 package traffic
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+
+	"iris/internal/trace"
+)
 
 // Source yields successive demand matrices — the traffic feed a control
 // loop converges to. Implementations must hand ownership of each returned
@@ -77,4 +82,33 @@ func (l *limited) Next() (*Matrix, bool) {
 	}
 	l.left--
 	return l.s.Next()
+}
+
+// Traced wraps a feed so every shift it yields is journaled as an
+// instant "shift" event in the flight recorder, carrying the step index
+// and the matrix's total demand — the breadcrumb that lets an operator
+// line a reconfiguration trace up with the traffic step that caused it.
+// A nil tracer returns s unchanged.
+func Traced(s Source, t *trace.Tracer) Source {
+	if t == nil {
+		return s
+	}
+	return &traced{s: s, t: t}
+}
+
+type traced struct {
+	s    Source
+	t    *trace.Tracer
+	step int
+}
+
+func (tr *traced) Next() (*Matrix, bool) {
+	m, ok := tr.s.Next()
+	if !ok {
+		tr.t.Emit(0, "feed-exhausted", "", fmt.Sprintf("step=%d", tr.step))
+		return nil, false
+	}
+	tr.step++
+	tr.t.Emit(0, "shift", "", fmt.Sprintf("step=%d total=%.1f", tr.step, m.Total()))
+	return m, ok
 }
