@@ -1,0 +1,170 @@
+// Command irischaos audits a planned region's survivability against
+// generated failure scenarios: exhaustive or sampled duct-cut sets,
+// correlated hut/DC/amplifier-site losses, and geo-radius events.
+//
+// Usage:
+//
+//	irischaos [-toy] [-seed N] [-dcs N] [-capacity F] [-lambda L] [-failures K]
+//	          [-mode exhaustive|sample|huts|dcs|amps|geo]
+//	          [-cuts D] [-samples N] [-k K] [-radius KM] [-events N]
+//	          [-format text|csv|json] [-parallel W] [-assert]
+//
+// The default run exhaustively audits every cut set up to -cuts ducts. With
+// -assert the exit status is non-zero unless every audited scenario is hose
+// admissible — the planner's k-failure guarantee, checked end to end — which
+// makes the command usable as a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iris/internal/chaos"
+	"iris/internal/core"
+	"iris/internal/fibermap"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irischaos:", err)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		toy      = flag.Bool("toy", false, "audit the paper's Fig. 10 example region")
+		seed     = flag.Int64("seed", 1, "map generation seed (ignored with -toy)")
+		dcs      = flag.Int("dcs", 4, "data centers to place (ignored with -toy)")
+		capacity = flag.Int("capacity", 10, "per-DC hose capacity in fiber-pairs")
+		lambda   = flag.Int("lambda", 40, "wavelengths per fiber")
+		failures = flag.Int("failures", 2, "plan's duct-cut tolerance (MaxFailures)")
+		mode     = flag.String("mode", "exhaustive", "scenario generator: exhaustive, sample, huts, dcs, amps or geo")
+		cuts     = flag.Int("cuts", 2, "exhaustive audit depth (max simultaneous cuts)")
+		samples  = flag.Int("samples", 100, "scenarios to draw in sample mode")
+		k        = flag.Int("k", 2, "cuts per sampled scenario")
+		radius   = flag.Float64("radius", 6, "geo event radius in km")
+		events   = flag.Int("events", 20, "geo events to draw")
+		format   = flag.String("format", "text", "output format: text, csv or json")
+		parallel = flag.Int("parallel", 0, "audit workers: 0 = GOMAXPROCS, 1 = serial")
+		assert   = flag.Bool("assert", false, "exit non-zero unless every scenario is hose admissible")
+	)
+	flag.Parse()
+
+	m, err := buildMap(*toy, *seed, *dcs)
+	if err != nil {
+		fatal(err)
+	}
+	caps := make(map[int]int)
+	for _, dc := range m.DCs() {
+		caps[dc] = *capacity
+	}
+	dep, err := core.Plan(
+		core.Region{Map: m, Capacity: caps, Lambda: *lambda},
+		core.Options{MaxFailures: *failures},
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	var scenarios []chaos.Scenario
+	switch *mode {
+	case "exhaustive":
+		scenarios = chaos.EnumerateCuts(m, *cuts)
+	case "sample":
+		scenarios = chaos.SampleCuts(*seed, m, *k, *samples)
+	case "huts":
+		scenarios = chaos.HutLossScenarios(m)
+	case "dcs":
+		scenarios = chaos.DCLossScenarios(m)
+	case "amps":
+		scenarios = chaos.AmpFailureScenarios(dep.Plan)
+	case "geo":
+		scenarios = chaos.GeoEvents(*seed, m, *radius, *events)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if len(scenarios) == 0 {
+		fatal(fmt.Errorf("mode %q generated no scenarios for this region", *mode))
+	}
+
+	auditor := chaos.NewAuditor(dep.Plan)
+	results := auditor.Run(scenarios, *parallel)
+
+	switch *format {
+	case "text":
+		writeText(results, *failures)
+	case "csv":
+		writeCSV(results)
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+
+	if *assert {
+		for _, r := range results {
+			if !r.Admissible {
+				fmt.Fprintf(os.Stderr, "irischaos: scenario %q is not hose admissible\n", r.Scenario.Name)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func buildMap(toy bool, seed int64, dcs int) (*fibermap.Map, error) {
+	if toy {
+		return fibermap.Toy().Map, nil
+	}
+	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
+	if _, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, dcs)); err != nil {
+		return nil, fmt.Errorf("place DCs: %w", err)
+	}
+	return m, nil
+}
+
+func writeText(results []chaos.Result, failures int) {
+	fmt.Printf("%-24s %-5s %-5s %-5s %-7s %-10s %-8s %s\n",
+		"scenario", "cuts", "adm", "surv", "disc", "worst-pair", "stretch", "overloads")
+	for _, r := range results {
+		over := ""
+		if n := len(r.Overloads) + len(r.ResidualOverloads); n > 0 {
+			parts := make([]string, 0, n)
+			for _, o := range r.Overloads {
+				parts = append(parts, fmt.Sprintf("duct%d:%d>%d", o.DuctID, o.NeedPairs, o.HavePairs))
+			}
+			for _, o := range r.ResidualOverloads {
+				parts = append(parts, fmt.Sprintf("duct%d:resid%d>%d", o.DuctID, o.NeedPairs, o.HavePairs))
+			}
+			over = strings.Join(parts, " ")
+		}
+		fmt.Printf("%-24s %-5d %-5v %-5v %-7d %10.1f %8.2f %s\n",
+			r.Scenario.Name, r.Cuts, r.Admissible, r.Survives,
+			r.DisconnectedPairs, r.WorstPairFibers, r.MaxStretch, over)
+	}
+	fmt.Println()
+	fmt.Println(chaos.Summary(results))
+	for _, p := range chaos.Curve(results) {
+		marker := ""
+		if p.Cuts > failures {
+			marker = "  (past tolerance)"
+		}
+		fmt.Printf("  %d cuts: %d scenarios, %.1f%% admissible, %.1f%% surviving%s\n",
+			p.Cuts, p.Scenarios, 100*p.FracAdmissible(), 100*p.FracSurviving(), marker)
+	}
+}
+
+func writeCSV(results []chaos.Result) {
+	fmt.Println("scenario,kind,cuts,admissible,survives,disconnected_pairs,worst_pair_fibers,max_stretch,sla_violations,overloads")
+	for _, r := range results {
+		fmt.Printf("%q,%s,%d,%v,%v,%d,%.3f,%.4f,%d,%d\n",
+			r.Scenario.Name, r.Scenario.Kind, r.Cuts, r.Admissible, r.Survives,
+			r.DisconnectedPairs, r.WorstPairFibers, r.MaxStretch, r.SLAViolations,
+			len(r.Overloads)+len(r.ResidualOverloads))
+	}
+}

@@ -6,14 +6,15 @@
 // applied changes once devices heal. Observability is served over HTTP:
 // /metrics (Prometheus text format), /status (JSON), /healthz, plus the
 // flight recorder on /debug/events and /debug/trace; pprof is available
-// behind -pprof.
+// behind -pprof. With -chaos, a live fault injector wraps every emulated
+// device and is served on /debug/chaos for inject/restore experiments.
 //
 // Usage:
 //
 //	irisd [-toy] [-seed N] [-dcs N] [-oss-delay 20ms]
 //	      [-listen 127.0.0.1:9090] [-interval 2s] [-probe-interval 1s]
 //	      [-steps N] [-shift-bound 0.4] [-util 0.7]
-//	      [-log-level info] [-log-json] [-trace-events 4096] [-pprof]
+//	      [-log-level info] [-log-json] [-trace-events 4096] [-pprof] [-chaos]
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: an in-flight
 // reconfiguration finishes its drained sequence, the HTTP server closes,
@@ -33,11 +34,13 @@ import (
 	"syscall"
 	"time"
 
+	"iris/internal/chaos"
 	"iris/internal/control"
 	"iris/internal/daemon"
 	"iris/internal/fabric"
 	"iris/internal/logging"
 	"iris/internal/optics"
+	"iris/internal/telemetry"
 	"iris/internal/trace"
 	"iris/internal/traffic"
 )
@@ -60,6 +63,7 @@ func main() {
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		traceEvents   = flag.Int("trace-events", 4096, "flight-recorder capacity in events (0 disables tracing)")
 		pprofEnabled  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
+		chaosEnabled  = flag.Bool("chaos", false, "wrap devices in fault shims and serve the injector on /debug/chaos")
 	)
 	flag.Parse()
 
@@ -78,12 +82,18 @@ func main() {
 		tracer = trace.New(*traceEvents)
 	}
 
-	rig, err := fabric.BringUp(fabric.BringUpConfig{
+	var devs *chaos.DeviceSet
+	bringUp := fabric.BringUpConfig{
 		Toy: *toy, Seed: *seed, DCs: *dcs,
 		OSSDelay: *ossDelay,
 		Dial:     control.DialOptions{RPCTimeout: *rpcTimeout},
 		Tracer:   tracer,
-	})
+	}
+	if *chaosEnabled {
+		devs = chaos.NewDeviceSet()
+		bringUp.WrapDevice = devs.Wrap
+	}
+	rig, err := fabric.BringUp(bringUp)
 	if err != nil {
 		fatal("bring-up failed", err)
 	}
@@ -109,6 +119,23 @@ func main() {
 	}
 	feed = traffic.Traced(feed, tracer)
 
+	// The injector shares the daemon's registry so iris_chaos_* metrics
+	// land on the same /metrics scrape as the control-loop metrics.
+	reg := telemetry.NewRegistry()
+	var inj *chaos.Injector
+	if *chaosEnabled {
+		inj, err = chaos.NewInjector(chaos.InjectorConfig{
+			Devices:  devs,
+			Fab:      rig.Fab,
+			Tracer:   tracer,
+			Registry: reg,
+		})
+		if err != nil {
+			fatal("chaos injector init failed", err)
+		}
+		log.Info("chaos injector armed", "endpoint", "/debug/chaos")
+	}
+
 	d, err := daemon.New(daemon.Config{
 		Fab:           rig.Fab,
 		Controller:    rig.Testbed.Controller,
@@ -116,8 +143,10 @@ func main() {
 		Interval:      *interval,
 		ProbeInterval: *probeInterval,
 		Seed:          *seed,
+		Registry:      reg,
 		Logger:        log,
 		Tracer:        tracer,
+		Chaos:         inj,
 	})
 	if err != nil {
 		fatal("daemon init failed", err)

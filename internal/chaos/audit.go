@@ -1,0 +1,443 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"iris/internal/graph"
+	"iris/internal/hose"
+	"iris/internal/optics"
+	"iris/internal/parallel"
+	"iris/internal/plan"
+)
+
+// Auditor replays failure scenarios against a finished plan and checks
+// whether the provisioned capacities still admit the hose traffic.
+//
+// For each scenario it materialises the degraded graph, re-routes every DC
+// pair exactly as the planner would (same deterministic Dijkstra
+// tie-breaking, same hub walks for centralized plans), and per duct
+// verifies the worst-case hose-model load of the crossing pairs — computed
+// by the same bipartite-double-cover max-flow the planner uses — fits the
+// base plus cut-through fiber leased there. A pair a cut disconnects is
+// skipped, matching the planner's own guarantee: Algorithm 1 owes no
+// capacity to pairs with no surviving path, so admissibility means "every
+// pair that still has a path gets its full hose demand", and Survives
+// additionally demands that no pair lost its path.
+//
+// An Auditor is safe for concurrent Audit calls; Run fans scenarios out
+// over a worker pool.
+type Auditor struct {
+	pl     *plan.Plan
+	base   *graph.Graph
+	dcs    []int
+	caps   map[int]float64
+	baseKM map[hose.Pair]float64 // failure-free path length per pair
+
+	havePairs map[int]int // duct -> base + cut-through fiber-pairs
+	residual  map[int]int // duct -> residual fiber-pairs
+
+	// mu guards the worst-case-load memo; most scenarios reproduce the
+	// same per-duct pair sets, so loads are shared across Audit calls.
+	mu    sync.Mutex
+	loads map[string]float64
+}
+
+// NewAuditor prepares an auditor for the given plan. The plan's base graph
+// is rebuilt unless the plan's input carried one.
+func NewAuditor(pl *plan.Plan) *Auditor {
+	base := pl.Input.Base
+	if base == nil {
+		base = plan.BaseGraph(pl.Input.Map)
+	}
+	a := &Auditor{
+		pl:        pl,
+		base:      base,
+		dcs:       pl.Input.Map.DCs(),
+		caps:      make(map[int]float64),
+		baseKM:    make(map[hose.Pair]float64),
+		havePairs: make(map[int]int),
+		residual:  make(map[int]int),
+		loads:     make(map[string]float64),
+	}
+	for _, dc := range a.dcs {
+		a.caps[dc] = float64(pl.Input.Capacity[dc])
+	}
+	for id, du := range pl.Ducts {
+		a.havePairs[id] = du.BasePairs + du.CutThroughPairs
+		a.residual[id] = du.ResidualPairs
+	}
+	for pair, info := range pl.Paths {
+		a.baseKM[pair] = info.TotalKM
+	}
+	return a
+}
+
+// Overload records one duct whose provisioned fiber cannot carry the
+// worst-case hose load (or pair count, for residual fibers) a scenario
+// routes across it.
+type Overload struct {
+	DuctID int `json:"duct"`
+	// NeedPairs is the fiber the scenario requires on the duct.
+	NeedPairs int `json:"need"`
+	// HavePairs is the fiber the plan provisioned there.
+	HavePairs int `json:"have"`
+}
+
+// Result is the audit outcome for one scenario.
+type Result struct {
+	Scenario Scenario `json:"scenario"`
+	// Cuts is the number of ducts the scenario severed.
+	Cuts int `json:"cuts"`
+	// Admissible: every DC pair with a surviving path gets its full hose
+	// demand within the provisioned fiber.
+	Admissible bool `json:"admissible"`
+	// Survives: admissible and no DC pair lost its path.
+	Survives bool `json:"survives"`
+	// DisconnectedPairs counts DC pairs with no surviving path;
+	// DisconnectedDCs lists the DCs cut off from the largest surviving
+	// DC cluster (ties broken toward the cluster holding the lowest ID).
+	DisconnectedPairs int   `json:"disconnected_pairs"`
+	DisconnectedDCs   []int `json:"disconnected_dcs,omitempty"`
+	// Overloads are ducts whose hose load exceeds base plus cut-through
+	// fiber; ResidualOverloads are ducts crossed by more pairs than
+	// residual fibers provisioned (§4.3).
+	Overloads         []Overload `json:"overloads,omitempty"`
+	ResidualOverloads []Overload `json:"residual_overloads,omitempty"`
+	// WorstPairFibers is the residual worst-pair throughput: the minimum
+	// over surviving DC pairs of the max-flow between them across the
+	// provisioned ducts (in fiber-pairs). 0 when no pair survives.
+	WorstPairFibers float64 `json:"worst_pair_fibers"`
+	// MaxStretch is the worst ratio of a pair's degraded path length to
+	// its failure-free length (1 when routing is unchanged).
+	MaxStretch float64 `json:"max_stretch"`
+	// SLAViolations counts surviving pairs whose degraded path exceeds
+	// the SLA fiber distance.
+	SLAViolations int `json:"sla_violations"`
+}
+
+// Audit replays one scenario against the plan.
+func (a *Auditor) Audit(sc Scenario) Result {
+	res := Result{Scenario: sc, Cuts: sc.CutCount(), MaxStretch: 1}
+	g := a.base
+	if len(sc.Ducts) > 0 {
+		g = a.base.WithoutEdges(sc.CutSet())
+	}
+
+	// Route every pair the way the planner does and collect per-duct
+	// crossings (with multiplicity: centralized hub walks can cross a
+	// duct twice).
+	crossings := make(map[int]map[hose.Pair]int)
+	residByDuct := make(map[int]int)
+	connected := make([]hose.Pair, 0, len(a.dcs)*(len(a.dcs)-1)/2)
+
+	record := func(pair hose.Pair, edges []graph.Edge, totalKM float64) {
+		connected = append(connected, pair)
+		for _, e := range edges {
+			residByDuct[e.ID]++
+			byPair := crossings[e.ID]
+			if byPair == nil {
+				byPair = make(map[hose.Pair]int)
+				crossings[e.ID] = byPair
+			}
+			byPair[pair]++
+		}
+		if totalKM > optics.MaxPathKM+1e-9 {
+			res.SLAViolations++
+		}
+		if base, ok := a.baseKM[pair]; ok && base > 0 {
+			if s := totalKM / base; s > res.MaxStretch {
+				res.MaxStretch = s
+			}
+		}
+	}
+
+	if hubs := a.pl.Input.ViaHubs; len(hubs) > 0 {
+		hubTrees := make(map[int]*graph.ShortestPathTree, len(hubs))
+		for _, h := range hubs {
+			hubTrees[h] = g.Dijkstra(h)
+		}
+		for i, x := range a.dcs {
+			for _, y := range a.dcs[i+1:] {
+				pair := hose.Pair{A: x, B: y}
+				edges, total, ok := bestHubWalk(hubTrees, hubs, x, y)
+				if !ok {
+					res.DisconnectedPairs++
+					continue
+				}
+				record(pair, edges, total)
+			}
+		}
+	} else {
+		trees := make(map[int]*graph.ShortestPathTree, len(a.dcs))
+		for _, dc := range a.dcs {
+			trees[dc] = g.Dijkstra(dc)
+		}
+		for i, x := range a.dcs {
+			for _, y := range a.dcs[i+1:] {
+				pair := hose.Pair{A: x, B: y}
+				_, edges, ok := trees[x].PathTo(y)
+				if !ok {
+					res.DisconnectedPairs++
+					continue
+				}
+				record(pair, edges, trees[x].Dist[y])
+			}
+		}
+	}
+
+	res.DisconnectedDCs = strandedDCs(a.dcs, connected)
+
+	// Capacity check per crossed duct, mirroring the planner's
+	// provisioning rule: worst-case hose load of the crossing pairs plus
+	// the multi-crossing surcharge, against base + cut-through fiber.
+	// Cut-through fiber counts because its riders are among the crossing
+	// pairs and their load never exceeds the cut-through's provisioned
+	// size (the b-matching LP is subadditive over pair-set unions).
+	ductIDs := make([]int, 0, len(crossings))
+	for id := range crossings {
+		ductIDs = append(ductIDs, id)
+	}
+	sort.Ints(ductIDs)
+	for _, id := range ductIDs {
+		byPair := crossings[id]
+		pairs := make([]hose.Pair, 0, len(byPair))
+		extra := 0.0
+		for pair, k := range byPair {
+			pairs = append(pairs, pair)
+			if k > 1 {
+				extra += float64(k-1) * math.Min(a.caps[pair.A], a.caps[pair.B])
+			}
+		}
+		need := int(math.Ceil(a.cachedLoad(pairs) + extra - 1e-9))
+		if have := a.havePairs[id]; need > have {
+			res.Overloads = append(res.Overloads, Overload{DuctID: id, NeedPairs: need, HavePairs: have})
+		}
+		if n, have := residByDuct[id], a.residual[id]; n > have {
+			res.ResidualOverloads = append(res.ResidualOverloads, Overload{DuctID: id, NeedPairs: n, HavePairs: have})
+		}
+	}
+
+	res.Admissible = len(res.Overloads) == 0 && len(res.ResidualOverloads) == 0
+	res.Survives = res.Admissible && res.DisconnectedPairs == 0
+	res.WorstPairFibers = a.worstPairThroughput(sc.CutSet(), connected)
+	return res
+}
+
+// strandedDCs returns the DCs outside the largest cluster the surviving
+// pairs connect, sorted ascending. Ties go to the cluster holding the
+// lowest DC ID, so the result is deterministic even for an even split.
+func strandedDCs(dcs []int, pairs []hose.Pair) []int {
+	parent := make(map[int]int, len(dcs))
+	for _, dc := range dcs {
+		parent[dc] = dc
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, p := range pairs {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			// Root at the smaller ID so the tie-break below is stable.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	size := make(map[int]int)
+	for _, dc := range dcs {
+		size[find(dc)]++
+	}
+	best := -1
+	for _, dc := range dcs { // ascending IDs: first max wins ties
+		if r := find(dc); size[r] > 0 && (best == -1 || size[r] > size[best]) {
+			best = r
+		}
+	}
+	var out []int
+	for _, dc := range dcs {
+		if find(dc) != best {
+			out = append(out, dc)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bestHubWalk mirrors the planner's centralized routing: the shortest
+// DC-hub-DC walk over the given hubs, whose legs may share ducts.
+func bestHubWalk(trees map[int]*graph.ShortestPathTree, hubs []int, a, b int) (edges []graph.Edge, total float64, ok bool) {
+	best := graph.Inf
+	for _, h := range hubs {
+		t := trees[h]
+		d := t.Dist[a] + t.Dist[b]
+		if d >= best || d >= graph.Inf {
+			continue
+		}
+		_, edgesA, okA := t.PathTo(a)
+		_, edgesB, okB := t.PathTo(b)
+		if !okA || !okB {
+			continue
+		}
+		es := make([]graph.Edge, 0, len(edgesA)+len(edgesB))
+		for i := len(edgesA) - 1; i >= 0; i-- {
+			es = append(es, edgesA[i])
+		}
+		es = append(es, edgesB...)
+		edges, total, ok = es, d, true
+		best = d
+	}
+	return edges, total, ok
+}
+
+// worstPairThroughput builds one flow network over the surviving
+// provisioned ducts (arc capacity = total leased fiber-pairs, both
+// directions) and returns the minimum max-flow over the surviving pairs —
+// the residual worst-pair throughput of the degraded region. The network
+// is built once per scenario and Reset between per-pair runs.
+func (a *Auditor) worstPairThroughput(cut map[int]bool, pairs []hose.Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	f := graph.NewFlowNetwork(len(a.pl.Input.Map.Nodes))
+	for id, have := range a.havePairs {
+		total := have + a.residual[id]
+		if total == 0 || cut[id] {
+			continue
+		}
+		d := a.pl.Input.Map.Ducts[id]
+		f.AddArc(d.A, d.B, float64(total))
+		f.AddArc(d.B, d.A, float64(total))
+	}
+	worst := math.Inf(1)
+	for i, pair := range pairs {
+		if i > 0 {
+			f.Reset()
+		}
+		if flow := f.MaxFlow(pair.A, pair.B); flow < worst {
+			worst = flow
+		}
+	}
+	return worst
+}
+
+// cachedLoad memoises hose.WorstCaseLoad over the plan's DC capacities,
+// keyed by the sorted pair-set signature (as the planner does), shared
+// across concurrent Audit calls.
+func (a *Auditor) cachedLoad(pairs []hose.Pair) float64 {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	key := make([]byte, 0, 4*len(pairs))
+	for _, pr := range pairs {
+		key = append(key,
+			byte(pr.A), byte(pr.A>>8),
+			byte(pr.B), byte(pr.B>>8))
+	}
+	a.mu.Lock()
+	load, ok := a.loads[string(key)]
+	a.mu.Unlock()
+	if ok {
+		return load
+	}
+	load = hose.WorstCaseLoad(a.caps, pairs)
+	a.mu.Lock()
+	a.loads[string(key)] = load
+	a.mu.Unlock()
+	return load
+}
+
+// Run audits every scenario across the given number of workers (0 =
+// GOMAXPROCS, 1 = serial). Results are in scenario order regardless of
+// scheduling, and identical at every parallelism setting.
+func (a *Auditor) Run(scenarios []Scenario, parallelism int) []Result {
+	results := make([]Result, len(scenarios))
+	_ = parallel.ForEach(len(scenarios), parallelism, func(i int) error {
+		results[i] = a.Audit(scenarios[i])
+		return nil
+	})
+	return results
+}
+
+// CurvePoint aggregates the audits of all scenarios severing the same
+// number of ducts — one point of a survivability curve.
+type CurvePoint struct {
+	Cuts       int `json:"cuts"`
+	Scenarios  int `json:"scenarios"`
+	Admissible int `json:"admissible"`
+	Surviving  int `json:"surviving"`
+}
+
+// FracAdmissible is the fraction of scenarios at this cut count whose
+// surviving pairs all fit the provisioned fiber.
+func (p CurvePoint) FracAdmissible() float64 {
+	if p.Scenarios == 0 {
+		return 0
+	}
+	return float64(p.Admissible) / float64(p.Scenarios)
+}
+
+// FracSurviving is the fraction of scenarios at this cut count the region
+// fully survives (admissible and no pair disconnected).
+func (p CurvePoint) FracSurviving() float64 {
+	if p.Scenarios == 0 {
+		return 0
+	}
+	return float64(p.Surviving) / float64(p.Scenarios)
+}
+
+// Curve aggregates audit results into a survivability curve: one point
+// per distinct cut count, ascending.
+func Curve(results []Result) []CurvePoint {
+	byCuts := make(map[int]*CurvePoint)
+	for _, r := range results {
+		p := byCuts[r.Cuts]
+		if p == nil {
+			p = &CurvePoint{Cuts: r.Cuts}
+			byCuts[r.Cuts] = p
+		}
+		p.Scenarios++
+		if r.Admissible {
+			p.Admissible++
+		}
+		if r.Survives {
+			p.Surviving++
+		}
+	}
+	cuts := make([]int, 0, len(byCuts))
+	for c := range byCuts {
+		cuts = append(cuts, c)
+	}
+	sort.Ints(cuts)
+	out := make([]CurvePoint, 0, len(cuts))
+	for _, c := range cuts {
+		out = append(out, *byCuts[c])
+	}
+	return out
+}
+
+// Summary is a one-line digest of a result set, for logs and CLIs.
+func Summary(results []Result) string {
+	adm, surv := 0, 0
+	for _, r := range results {
+		if r.Admissible {
+			adm++
+		}
+		if r.Survives {
+			surv++
+		}
+	}
+	return fmt.Sprintf("%d scenarios: %d admissible (%.1f%%), %d surviving (%.1f%%)",
+		len(results), adm, 100*float64(adm)/float64(max(len(results), 1)),
+		surv, 100*float64(surv)/float64(max(len(results), 1)))
+}

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAuditBaseline(t *testing.T) {
+	_, dep := toyRegion(t, 0)
+	a := NewAuditor(dep.Plan)
+	res := a.Audit(Cut())
+	if !res.Admissible || !res.Survives {
+		t.Fatalf("failure-free baseline not surviving: %+v", res)
+	}
+	if res.DisconnectedPairs != 0 || len(res.Overloads) != 0 {
+		t.Fatalf("baseline reports damage: %+v", res)
+	}
+	if res.MaxStretch != 1 {
+		t.Fatalf("baseline MaxStretch = %v, want 1", res.MaxStretch)
+	}
+	if res.WorstPairFibers <= 0 {
+		t.Fatalf("baseline WorstPairFibers = %v, want > 0", res.WorstPairFibers)
+	}
+	if res.SLAViolations != 0 {
+		t.Fatalf("baseline SLA violations = %d, want 0", res.SLAViolations)
+	}
+}
+
+// TestToyMaxFailuresTwoExhaustive is the issue's acceptance criterion: an
+// exhaustive audit of the MaxFailures=2 plan on the paper's example region
+// must report 100% hose admissibility for every scenario of at most two
+// duct cuts.
+func TestToyMaxFailuresTwoExhaustive(t *testing.T) {
+	toy, dep := toyRegion(t, 2)
+	a := NewAuditor(dep.Plan)
+	scs := EnumerateCuts(toy.Map, 2)
+	results := a.Run(scs, 0)
+	for _, r := range results {
+		if !r.Admissible {
+			t.Errorf("scenario %q not admissible: overloads %v, residual %v",
+				r.Scenario.Name, r.Overloads, r.ResidualOverloads)
+		}
+	}
+	curve := Curve(results)
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3 (0, 1, 2 cuts)", len(curve))
+	}
+	wantScenarios := []int{1, 5, 10}
+	for i, p := range curve {
+		if p.Cuts != i || p.Scenarios != wantScenarios[i] {
+			t.Fatalf("curve point %d = %+v, want cuts=%d scenarios=%d", i, p, i, wantScenarios[i])
+		}
+		if p.FracAdmissible() != 1 {
+			t.Fatalf("admissibility at %d cuts = %v, want 1", p.Cuts, p.FracAdmissible())
+		}
+	}
+	// The toy is a tree, so only the baseline fully survives: every cut
+	// disconnects some DC.
+	if curve[0].Surviving != 1 || curve[1].Surviving != 0 || curve[2].Surviving != 0 {
+		t.Fatalf("tree-region survival counts wrong: %+v", curve)
+	}
+}
+
+func TestAuditDisconnection(t *testing.T) {
+	toy, dep := toyRegion(t, 1)
+	a := NewAuditor(dep.Plan)
+
+	// Cutting DC1's access duct strands exactly that DC: three pairs die,
+	// the rest must still be admissible.
+	res := a.Audit(Cut(toy.L1))
+	if res.Survives {
+		t.Fatal("cut of an access duct reported as fully survived on a tree region")
+	}
+	if !res.Admissible {
+		t.Fatalf("surviving pairs not admissible after access cut: %+v", res)
+	}
+	if res.DisconnectedPairs != 3 {
+		t.Fatalf("disconnected pairs = %d, want 3", res.DisconnectedPairs)
+	}
+	if !reflect.DeepEqual(res.DisconnectedDCs, []int{toy.DC1}) {
+		t.Fatalf("disconnected DCs = %v, want [%d]", res.DisconnectedDCs, toy.DC1)
+	}
+
+	// Cutting the hub-hub duct splits the region in half: the four
+	// cross-hub pairs die; the tie between the halves breaks toward the
+	// cluster holding DC1, so DC3 and DC4 are reported stranded.
+	res = a.Audit(Cut(toy.L5))
+	if res.DisconnectedPairs != 4 {
+		t.Fatalf("hub-cut disconnected pairs = %d, want 4", res.DisconnectedPairs)
+	}
+	if !reflect.DeepEqual(res.DisconnectedDCs, []int{toy.DC3, toy.DC4}) {
+		t.Fatalf("hub-cut disconnected DCs = %v, want [%d %d]", res.DisconnectedDCs, toy.DC3, toy.DC4)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	toy, dep := toyRegion(t, 2)
+	a := NewAuditor(dep.Plan)
+	scs := EnumerateCuts(toy.Map, 2)
+	serial := a.Run(scs, 1)
+	par := a.Run(scs, 4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel audit differs from serial")
+	}
+}
+
+func TestSummaryAndCurveShapes(t *testing.T) {
+	toy, dep := toyRegion(t, 1)
+	a := NewAuditor(dep.Plan)
+	results := a.Run(EnumerateCuts(toy.Map, 1), 0)
+	s := Summary(results)
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+	if got := Summary(nil); got == "" {
+		t.Fatal("Summary(nil) empty")
+	}
+	if pts := Curve(nil); len(pts) != 0 {
+		t.Fatalf("Curve(nil) = %v, want empty", pts)
+	}
+}

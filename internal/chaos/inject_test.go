@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+type echoDev struct{}
+
+func (echoDev) Kind() string { return "echo" }
+
+func (echoDev) Handle(op string, args map[string]any) (map[string]any, error) {
+	return map[string]any{"op": op}, nil
+}
+
+func TestDeviceSetFaulting(t *testing.T) {
+	s := NewDeviceSet()
+	dev := s.Wrap("h1-oss", echoDev{})
+	s.Wrap("dc1-xcvr", echoDev{})
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"dc1-xcvr", "h1-oss"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+
+	if _, err := dev.Handle("state", nil); err != nil {
+		t.Fatalf("healthy device failed: %v", err)
+	}
+
+	// Overlapping faults are reference-counted: the device heals only when
+	// the last fault is removed.
+	s.addFault("h1-oss")
+	s.addFault("h1-oss")
+	if _, err := dev.Handle("state", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted device returned %v, want ErrInjected", err)
+	}
+	s.removeFault("h1-oss")
+	if _, err := dev.Handle("state", nil); !errors.Is(err, ErrInjected) {
+		t.Fatal("device healed while a second fault was still active")
+	}
+	s.removeFault("h1-oss")
+	if _, err := dev.Handle("state", nil); err != nil {
+		t.Fatalf("device still failing after all faults removed: %v", err)
+	}
+
+	if !s.has("h1-oss") || s.has("h9-oss") {
+		t.Fatal("membership check wrong")
+	}
+}

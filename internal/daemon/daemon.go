@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iris/internal/chaos"
 	"iris/internal/control"
 	"iris/internal/core"
 	"iris/internal/fabric"
@@ -76,6 +77,10 @@ type Config struct {
 	// breaker transition is journaled into (nil disables tracing; the
 	// /debug endpoints then serve empty results).
 	Tracer *trace.Tracer
+	// Chaos, when set, exposes the fault injector on the daemon's HTTP
+	// surface (/debug/chaos) and injection state on /status. The injector
+	// must wrap the same fabric's devices the daemon supervises.
+	Chaos *chaos.Injector
 }
 
 // Daemon is the regional control loop. Construct with New, drive with Run
@@ -525,6 +530,27 @@ func (d *Daemon) Audit() error {
 	fab := d.fab
 	d.mu.Unlock()
 	return d.ctl.Audit(fab.Expected())
+}
+
+// RepairNow runs one anti-entropy repair pass immediately. When ctx
+// carries a span (a chaos cycle's replan span), the pass is journaled
+// under it; otherwise it gets its own "repair" trace. Together with
+// Healthy and ConvergedNow this satisfies chaos.ControlPlane.
+func (d *Daemon) RepairNow(ctx context.Context) error {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return d.repair()
+	}
+	d.mu.Lock()
+	fab := d.fab
+	d.mu.Unlock()
+	return d.repairIn(ctx, sp.TraceID(), fab)
+}
+
+// ConvergedNow reports whether the region is healthy, repaired and
+// serving the latest allocation — the settle condition of a chaos cycle.
+func (d *Daemon) ConvergedNow() bool {
+	return d.Status().Converged
 }
 
 // penalizeIn attributes an error to the device that caused it and

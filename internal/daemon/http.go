@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"iris/internal/chaos"
 	"iris/internal/hose"
 	"iris/internal/trace"
 )
@@ -34,6 +35,10 @@ type Status struct {
 	Circuits   int              `json:"circuits"`
 	Allocation []PairAllocation `json:"allocation,omitempty"`
 	Devices    []DeviceStatus   `json:"devices"`
+
+	// Chaos is the fault injector's snapshot (absent when no injector is
+	// configured).
+	Chaos *chaos.Status `json:"chaos,omitempty"`
 }
 
 // PairAllocation is one DC pair's current circuit assignment.
@@ -136,6 +141,10 @@ func (d *Daemon) Status() Status {
 
 	st.Healthy = healthy
 	st.Converged = healthy && !st.NeedRepair && !st.PendingShift && st.LastAuditOK
+	if d.cfg.Chaos != nil {
+		snap := d.cfg.Chaos.Snapshot()
+		st.Chaos = &snap
+	}
 	return st
 }
 
@@ -171,6 +180,10 @@ func (d *Daemon) DebugEvents(reconfigID uint64) EventsDump {
 //	GET /debug/events  — flight-recorder dump; ?reconfig=<id> filters to one
 //	                     trace and includes its assembled span tree
 //	GET /debug/trace   — last-N span trees (?n=, default 5), oldest first
+//
+// When a chaos injector is configured, /debug/chaos additionally serves
+// its snapshot (GET) and accepts fault injections (POST) — see
+// chaos.Injector.Handler.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
@@ -224,5 +237,8 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		writeJSON(w, trees)
 	})
+	if d.cfg.Chaos != nil {
+		mux.Handle("/debug/chaos", d.cfg.Chaos.Handler())
+	}
 	return mux
 }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSurvivabilityToy(t *testing.T) {
+	res, err := Survivability(DefaultSurvivability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 4 { // cuts 0..3
+		t.Fatalf("curve has %d points, want 4", len(res.Curve))
+	}
+	// The guarantee: 100% admissible up to the plan's tolerance.
+	for _, p := range res.Curve {
+		if p.Cuts <= res.MaxFailures && p.FracAdmissible() != 1 {
+			t.Fatalf("admissibility at %d cuts = %v, want 1 (within tolerance)", p.Cuts, p.FracAdmissible())
+		}
+	}
+	if res.WorstPairFibers[0] <= 0 {
+		t.Fatalf("failure-free worst-pair throughput = %v, want > 0", res.WorstPairFibers[0])
+	}
+	// The toy region has hut, DC and geo classes (no amplified sites).
+	if len(res.Classes) < 3 {
+		t.Fatalf("classes = %+v, want hut, dc and geo", res.Classes)
+	}
+
+	out := res.Format()
+	for _, want := range []string{"Survivability audit", "past tolerance", "correlated classes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSurvivabilitySyntheticDeterministic(t *testing.T) {
+	cfg := SurvivabilityConfig{
+		Seed: 5, DCs: 3, Capacity: 6, Lambda: 40,
+		MaxFailures: 1, MaxCuts: 1, GeoEvents: 5, GeoRadiusKM: 5,
+	}
+	a, err := Survivability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	b, err := Survivability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatal("survivability output differs across parallelism settings")
+	}
+	for _, p := range a.Curve {
+		if p.FracAdmissible() != 1 {
+			t.Fatalf("synthetic 1-failure plan inadmissible at %d cuts", p.Cuts)
+		}
+	}
+}

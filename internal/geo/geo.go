@@ -130,6 +130,21 @@ func RandomInDisk(rng *rand.Rand, centre Point, radius float64) Point {
 	}
 }
 
+// DistToSegment returns the shortest distance from p to the segment ab.
+// It is how correlated failure events (a backhoe or disaster with a blast
+// radius) decide which fiber routes they sever: a duct is hit when its
+// segment passes within the radius, not only when an endpoint does.
+func DistToSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / den
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
 // PoissonDisk samples up to n points inside rect such that no two points are
 // closer than minDist. It uses dart throwing with a bounded number of
 // attempts per point, which is ample at the densities the fiber-map

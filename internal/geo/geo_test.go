@@ -224,3 +224,26 @@ func TestGridAreaPanicsOnBadCell(t *testing.T) {
 	}()
 	GridArea(Rect{}, 0, func(Point) bool { return true })
 }
+
+func TestDistToSegment(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},  // projects onto the interior
+		{Point{-4, 0}, 4}, // beyond a: clamp to endpoint
+		{Point{13, 4}, 5}, // beyond b: clamp to endpoint
+		{Point{7, 0}, 0},  // on the segment
+		{Point{2, -2.5}, 2.5},
+	}
+	for _, c := range cases {
+		if got := DistToSegment(c.p, a, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistToSegment(%v, %v, %v) = %v, want %v", c.p, a, b, got, c.want)
+		}
+	}
+	// Degenerate segment falls back to point distance.
+	if got := DistToSegment(Point{3, 4}, Point{0, 0}, Point{0, 0}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("degenerate DistToSegment = %v, want 5", got)
+	}
+}

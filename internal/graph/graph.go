@@ -116,12 +116,27 @@ func (g *Graph) Neighbors(n int, fn func(Edge)) {
 }
 
 // WithoutEdges returns a copy of g with the edges whose IDs appear in the
-// set removed. It is how failure scenarios are materialised.
+// set removed. It is how failure scenarios are materialised, so it builds
+// the copy directly rather than through AddEdge: the surviving edges are
+// already validated and unique, and skipping the per-edge lock and memo
+// invalidation keeps scenario fan-out (thousands of derived graphs) cheap.
 func (g *Graph) WithoutEdges(removed map[int]bool) *Graph {
-	h := New(g.n)
+	h := &Graph{
+		n:     g.n,
+		edges: make([]Edge, 0, len(g.edges)),
+		byID:  make(map[int]int, len(g.edges)),
+		adj:   make([][]int, g.n),
+	}
 	for _, e := range g.edges {
-		if !removed[e.ID] {
-			h.AddEdge(e.ID, e.U, e.V, e.W)
+		if removed[e.ID] {
+			continue
+		}
+		idx := len(h.edges)
+		h.edges = append(h.edges, e)
+		h.byID[e.ID] = idx
+		h.adj[e.U] = append(h.adj[e.U], idx)
+		if e.V != e.U {
+			h.adj[e.V] = append(h.adj[e.V], idx)
 		}
 	}
 	return h
@@ -429,8 +444,8 @@ func (g *Graph) Components() []int {
 // FailureScenarios enumerates all subsets of the given edge IDs of size 0
 // through maxCuts inclusive and calls fn with each subset (as a set). The
 // subset map is reused across calls; fn must not retain it. Enumeration
-// order is deterministic: by subset size, then lexicographically by
-// position in ids.
+// order is deterministic: the empty set first, then depth-first by sorted
+// ID, so each subset is visited immediately after its longest prefix.
 func FailureScenarios(ids []int, maxCuts int, fn func(cut map[int]bool)) {
 	sorted := append([]int(nil), ids...)
 	sort.Ints(sorted)

@@ -399,3 +399,86 @@ func TestDistancesFromSeedsMatchesVirtualSource(t *testing.T) {
 		}
 	}
 }
+
+// TestWithoutEdgesMatchesRebuild pins the direct-construction fast path to
+// the semantics of an AddEdge rebuild on random multigraphs: identical
+// edges, adjacency-driven traversal, ID lookup, and Dijkstra trees, and the
+// derived copy must remain fully usable (memoisation, further mutation).
+func TestWithoutEdgesMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		g := New(n)
+		m := rng.Intn(25)
+		for id := 0; id < m; id++ {
+			g.AddEdge(id, rng.Intn(n), rng.Intn(n), float64(rng.Intn(30)))
+		}
+		removed := make(map[int]bool)
+		for id := 0; id < m; id++ {
+			if rng.Intn(3) == 0 {
+				removed[id] = true
+			}
+		}
+
+		got := g.WithoutEdges(removed)
+		want := New(n)
+		for _, e := range g.Edges() {
+			if !removed[e.ID] {
+				want.AddEdge(e.ID, e.U, e.V, e.W)
+			}
+		}
+
+		if len(got.Edges()) != len(want.Edges()) {
+			t.Fatalf("trial %d: %d edges, want %d", trial, len(got.Edges()), len(want.Edges()))
+		}
+		for i, e := range want.Edges() {
+			if got.Edges()[i] != e {
+				t.Fatalf("trial %d: edge[%d] = %v, want %v", trial, i, got.Edges()[i], e)
+			}
+		}
+		for _, e := range want.Edges() {
+			ge, ok := got.EdgeByID(e.ID)
+			if !ok || ge != e {
+				t.Fatalf("trial %d: EdgeByID(%d) = %v,%v, want %v", trial, e.ID, ge, ok, e)
+			}
+		}
+		if _, ok := got.EdgeByID(-1); ok {
+			t.Fatalf("trial %d: EdgeByID(-1) found an edge", trial)
+		}
+		for v := 0; v < n; v++ {
+			var gotAdj, wantAdj []Edge
+			got.Neighbors(v, func(e Edge) { gotAdj = append(gotAdj, e) })
+			want.Neighbors(v, func(e Edge) { wantAdj = append(wantAdj, e) })
+			if !reflect.DeepEqual(gotAdj, wantAdj) {
+				t.Fatalf("trial %d: Neighbors(%d) = %v, want %v", trial, v, gotAdj, wantAdj)
+			}
+		}
+		for s := 0; s < n; s++ {
+			gt, wt := got.Dijkstra(s), want.Dijkstra(s)
+			if !reflect.DeepEqual(gt.Dist, wt.Dist) || !reflect.DeepEqual(gt.Hops, wt.Hops) {
+				t.Fatalf("trial %d: Dijkstra(%d) differs", trial, s)
+			}
+			if got.Dijkstra(s) != gt {
+				t.Fatalf("trial %d: derived graph does not memoise Dijkstra trees", trial)
+			}
+		}
+		// The copy must accept further mutation like any other graph.
+		got.AddEdge(m, 0, n-1, 1)
+		if _, ok := got.EdgeByID(m); !ok {
+			t.Fatalf("trial %d: AddEdge on derived graph lost the edge", trial)
+		}
+	}
+}
+
+func BenchmarkWithoutEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(64)
+	for id := 0; id < 256; id++ {
+		g.AddEdge(id, rng.Intn(64), rng.Intn(64), rng.Float64()*40)
+	}
+	removed := map[int]bool{3: true, 99: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.WithoutEdges(removed)
+	}
+}

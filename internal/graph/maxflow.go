@@ -13,6 +13,7 @@ type FlowNetwork struct {
 	n    int
 	arcs []arc // forward/backward arcs interleaved: arc i's reverse is i^1
 	head [][]int
+	orig []float64 // as-built capacities, restored by Reset
 }
 
 type arc struct {
@@ -40,9 +41,20 @@ func (f *FlowNetwork) AddArc(u, v int, capacity float64) int {
 	}
 	idx := len(f.arcs)
 	f.arcs = append(f.arcs, arc{to: v, cap: capacity}, arc{to: u, cap: 0})
+	f.orig = append(f.orig, capacity, 0)
 	f.head[u] = append(f.head[u], idx)
 	f.head[v] = append(f.head[v], idx+1)
 	return idx
+}
+
+// Reset restores every arc to its as-built capacity, discarding the
+// residual state left by MaxFlow. It lets callers run independent max-flow
+// computations on one network (e.g. one per traffic pair in a survivability
+// audit) without rebuilding it per run.
+func (f *FlowNetwork) Reset() {
+	for i := range f.arcs {
+		f.arcs[i].cap = f.orig[i]
+	}
 }
 
 // Flow returns the flow routed on the arc with the given index by the most
@@ -54,8 +66,8 @@ func (f *FlowNetwork) Flow(arcIdx int) float64 {
 
 // MaxFlow computes the maximum s-t flow using Dinic's algorithm and returns
 // its value. Capacities are consumed in place: calling MaxFlow twice on the
-// same network continues from the previous residual state, so callers
-// wanting a fresh computation must rebuild the network.
+// same network continues from the previous residual state. Call Reset
+// between runs for a fresh computation.
 func (f *FlowNetwork) MaxFlow(s, t int) float64 {
 	if s == t {
 		return 0

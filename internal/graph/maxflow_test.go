@@ -180,3 +180,68 @@ func TestMaxFlowConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestFlowNetworkReset covers the footgun MaxFlow documents: a second run
+// on a consumed network continues from the residual, while Reset restores
+// the as-built capacities so reruns are independent.
+func TestFlowNetworkReset(t *testing.T) {
+	f := NewFlowNetwork(4)
+	a := f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 1) // bottleneck
+	f.AddArc(2, 3, 10)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("first MaxFlow = %v, want 1", got)
+	}
+	// Without Reset the bottleneck is spent.
+	if got := f.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("MaxFlow on consumed network = %v, want 0", got)
+	}
+	f.Reset()
+	if got := f.Flow(a); got != 0 {
+		t.Fatalf("Flow after Reset = %v, want 0", got)
+	}
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("MaxFlow after Reset = %v, want 1", got)
+	}
+	// Different terminals on the same network, again after Reset.
+	f.Reset()
+	if got := f.MaxFlow(1, 3); got != 1 {
+		t.Fatalf("MaxFlow(1,3) after Reset = %v, want 1", got)
+	}
+}
+
+// TestResetMatchesRebuild checks on random networks that Reset+MaxFlow is
+// equivalent to rebuilding the network from scratch.
+func TestResetMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(8)
+		type arcSpec struct {
+			u, v int
+			c    float64
+		}
+		var specs []arcSpec
+		f := NewFlowNetwork(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(rng.Intn(20))
+			specs = append(specs, arcSpec{u, v, c})
+			f.AddArc(u, v, c)
+		}
+		f.MaxFlow(0, n-1) // consume
+		f.Reset()
+		got := f.MaxFlow(n-1, 0)
+
+		fresh := NewFlowNetwork(n)
+		for _, s := range specs {
+			fresh.AddArc(s.u, s.v, s.c)
+		}
+		want := fresh.MaxFlow(n-1, 0)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: reset maxflow %v, rebuilt %v", trial, got, want)
+		}
+	}
+}
