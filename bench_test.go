@@ -219,8 +219,12 @@ func BenchmarkAppendixBHybrid(b *testing.B) {
 
 func benchRegion(b *testing.B, n int) (*fibermap.Map, []int) {
 	b.Helper()
-	m := fibermap.Generate(fibermap.DefaultGenConfig(1))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(2, n))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = 1
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = 2, n
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -121,8 +121,12 @@ func buildMap(toy bool, seed int64, dcs int) (*fibermap.Map, error) {
 	if toy {
 		return fibermap.Toy().Map, nil
 	}
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	if _, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, dcs)); err != nil {
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed, dcs
+	if _, err := fibermap.PlaceDCs(m, pcfg); err != nil {
 		return nil, fmt.Errorf("place DCs: %w", err)
 	}
 	return m, nil

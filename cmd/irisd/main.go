@@ -54,6 +54,7 @@ func main() {
 			"emulated OSS switching time")
 		listen        = flag.String("listen", "127.0.0.1:9090", "metrics/status HTTP listen address")
 		interval      = flag.Duration("interval", 2*time.Second, "traffic-step cadence")
+		maxBatch      = flag.Int("max-batch", 1, "max queued traffic shifts coalesced into one convergence per step")
 		probeInterval = flag.Duration("probe-interval", time.Second, "device health-probe cadence")
 		steps         = flag.Int("steps", 0, "exit after this many traffic steps (0 = run forever)")
 		shiftBound    = flag.Float64("shift-bound", 0.4, "max fractional per-pair demand change per step (≤0 = pair swaps)")
@@ -141,6 +142,7 @@ func main() {
 		Controller:    rig.Testbed.Controller,
 		Feed:          feed,
 		Interval:      *interval,
+		MaxBatch:      *maxBatch,
 		ProbeInterval: *probeInterval,
 		Seed:          *seed,
 		Registry:      reg,

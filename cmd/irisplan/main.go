@@ -157,8 +157,12 @@ func buildRegion(toy bool, seed int64, dcs, capacity, lambda int) (core.Region, 
 		}
 		return core.Region{Map: t.Map, Capacity: caps, Lambda: lambda}, nil
 	}
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	placed, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+1, dcs))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed+1, dcs
+	placed, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		return core.Region{}, err
 	}

@@ -20,8 +20,12 @@ func main() {
 	log.SetFlags(0)
 
 	const seed = 3
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, 6))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed, 6
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,8 +22,12 @@ func main() {
 
 	// A region: 24-hut metro fiber map, 8 DCs of 16 fiber-pairs each.
 	const seed = 7
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, 8))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed, 8
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +37,7 @@ func main() {
 	}
 
 	dep, err := core.Plan(core.Region{Map: m, Capacity: capacity, Lambda: 40},
-		core.Options{MaxFailures: 2})
+		core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

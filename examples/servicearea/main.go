@@ -19,8 +19,12 @@ func main() {
 	log.SetFlags(0)
 
 	const seed = 2
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+50, 4))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed+50, 4
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}

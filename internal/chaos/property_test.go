@@ -11,8 +11,12 @@ import (
 // plans with the given duct-cut tolerance.
 func planSynthetic(t *testing.T, seed int64, dcs, failures int) *core.Deployment {
 	t.Helper()
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	sites, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, dcs))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed, dcs
+	sites, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatalf("seed %d: place DCs: %v", seed, err)
 	}

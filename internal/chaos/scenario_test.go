@@ -124,8 +124,12 @@ func TestSiteScenarios(t *testing.T) {
 func TestAmpFailureScenarios(t *testing.T) {
 	// The toy region needs no amplifiers, so use a generated region large
 	// enough to have amplified paths.
-	m := fibermap.Generate(fibermap.DefaultGenConfig(3))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(3, 4))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = 3
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = 3, 4
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

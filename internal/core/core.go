@@ -5,14 +5,19 @@
 //
 // The typical flow is:
 //
-//	dep, err := core.Plan(region, core.Options{MaxFailures: 2})
+//	dep, err := core.Plan(region, core.DefaultOptions())
 //	alloc, err := dep.Allocate(trafficMatrix)
 //	moves := core.Diff(oldAlloc, newAlloc)   // what a reconfiguration touches
+//
+// Control loops that apply many successive demand shifts use the
+// incremental path instead of re-solving per shift:
+//
+//	st, err := dep.AllocateState(trafficMatrix)
+//	undo, stats, err := dep.AllocateDelta(st, delta)   // re-solves only changed pairs
 package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"iris/internal/cost"
@@ -58,6 +63,14 @@ type Deployment struct {
 	Iris   cost.Breakdown
 	EPS    cost.Breakdown
 	Hybrid cost.Breakdown
+}
+
+// DefaultOptions returns the paper's operational planning defaults: the
+// §4 duct-cut tolerance of 2, the §3.3 price catalog (selected by the zero
+// Prices), and fully parallel PlanMany. Mutate the returned struct to
+// deviate, matching the Default* construction idiom used module-wide.
+func DefaultOptions() Options {
+	return Options{MaxFailures: 2}
 }
 
 // Plan plans a region end to end.
@@ -151,81 +164,94 @@ func intMapsEqual(x, y map[hose.Pair]int) bool {
 
 // Allocate converts a demand matrix (in wavelengths per DC pair) into a
 // circuit assignment, validating that demands respect the hose model and
-// that the provisioned duct capacities can carry the assignment.
+// that the provisioned duct capacities can carry the assignment. For a
+// control loop that applies many successive shifts, AllocateState +
+// AllocateDelta solve the same problem incrementally.
 func (d *Deployment) Allocate(m *traffic.Matrix) (Allocation, error) {
+	st, err := d.allocFull(m)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return st.alloc, nil
+}
+
+// allocFull is the from-scratch solver shared by Allocate, AllocateState
+// and the delta engine's fallback path: it books every pair of the matrix
+// into a fresh AllocState and validates the hose model and the provisioned
+// duct capacities.
+func (d *Deployment) allocFull(m *traffic.Matrix) (*AllocState, error) {
 	lambda := d.Region.Lambda
 	// Hose feasibility: each DC's aggregate demand within its capacity.
 	use := m.PerDC()
 	for dc, agg := range use {
 		capW := float64(d.Region.Capacity[dc] * lambda)
 		if agg > capW+1e-9 {
-			return Allocation{}, fmt.Errorf(
+			return nil, fmt.Errorf(
 				"core: DC %d aggregate demand %.1f wavelengths exceeds capacity %.0f",
 				dc, agg, capW)
 		}
 	}
 
-	alloc := Allocation{
-		Fibers:   make(map[hose.Pair]int),
-		Residual: make(map[hose.Pair]int),
+	st := &AllocState{
+		dep: d,
+		dcs: append([]int(nil), m.DCs...),
+		alloc: Allocation{
+			Fibers:   make(map[hose.Pair]int),
+			Residual: make(map[hose.Pair]int),
+		},
+		demand:         make(map[hose.Pair]float64),
+		perDC:          use,
+		fibersByDuct:   make(map[int]int),
+		residualByDuct: make(map[int]int),
 	}
-	// Per-duct usage check against the plan.
-	fibersByDuct := make(map[int]int)
-	residualByDuct := make(map[int]int)
 	for _, p := range m.Pairs() {
 		demand := m.Get(p)
 		if demand == 0 {
 			continue
 		}
-		info, ok := d.Plan.Paths[p.Canonical()]
+		p = p.Canonical()
+		info, ok := d.Plan.Paths[p]
 		if !ok {
-			return Allocation{}, fmt.Errorf("core: no planned path for pair %d-%d", p.A, p.B)
+			return nil, fmt.Errorf("core: no planned path for pair %d-%d", p.A, p.B)
 		}
-		full := int(demand) / lambda
-		rem := int(math.Ceil(demand-1e-9)) - full*lambda
-		if rem < 0 {
-			rem = 0
-		}
-		alloc.Fibers[p.Canonical()] = full
-		alloc.Residual[p.Canonical()] = rem
-		cut := make(map[int]bool, len(info.CutDucts))
-		for _, d := range info.CutDucts {
-			cut[d] = true
-		}
+		full, rem := pairCircuits(demand, lambda)
+		st.demand[p] = demand
+		st.alloc.Fibers[p] = full
+		st.alloc.Residual[p] = rem
 		for _, duct := range info.Ducts {
 			// Ducts covered by this pair's cut-through carry its traffic
 			// on the dedicated cut-through fiber, not base capacity.
-			if !cut[duct] {
-				fibersByDuct[duct] += full
+			if !inSortedInts(info.CutDucts, duct) {
+				st.fibersByDuct[duct] += full
 			}
 			if rem > 0 {
-				residualByDuct[duct]++
+				st.residualByDuct[duct]++
 			}
 		}
 	}
-	for duct, used := range fibersByDuct {
+	for duct, used := range st.fibersByDuct {
 		du := d.Plan.Ducts[duct]
 		if du == nil || used > du.BasePairs {
 			base := 0
 			if du != nil {
 				base = du.BasePairs
 			}
-			return Allocation{}, fmt.Errorf(
+			return nil, fmt.Errorf(
 				"core: duct %d needs %d full fibers, provisioned %d", duct, used, base)
 		}
 	}
-	for duct, used := range residualByDuct {
+	for duct, used := range st.residualByDuct {
 		du := d.Plan.Ducts[duct]
 		if du == nil || used > du.ResidualPairs {
 			res := 0
 			if du != nil {
 				res = du.ResidualPairs
 			}
-			return Allocation{}, fmt.Errorf(
+			return nil, fmt.Errorf(
 				"core: duct %d needs %d residual fibers, provisioned %d", duct, used, res)
 		}
 	}
-	return alloc, nil
+	return st, nil
 }
 
 // Move is one pair whose circuit assignment changes between two

@@ -151,8 +151,12 @@ func TestDiffFromEmpty(t *testing.T) {
 }
 
 func TestGeneratedRegionEndToEnd(t *testing.T) {
-	m := fibermap.Generate(fibermap.DefaultGenConfig(5))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(5, 6))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = 5
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = 5, 6
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,8 +234,12 @@ func TestAllocateRejectsUnplannedPair(t *testing.T) {
 func TestPlanManyMatchesPlan(t *testing.T) {
 	var regions []Region
 	for seed := int64(1); seed <= 3; seed++ {
-		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		placed, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+1, 5))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		m := fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = seed+1, 5
+		placed, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			t.Fatal(err)
 		}

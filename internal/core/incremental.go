@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+// DefaultDeltaFallbackFrac is the delta-cascade threshold: when more than
+// this fraction of the region's planned DC pairs changed demand,
+// AllocateDelta abandons the incremental path and re-solves from scratch —
+// past that point a full scan touches barely more state than the
+// incremental bookkeeping would.
+const DefaultDeltaFallbackFrac = 0.5
+
+// AllocState is an Allocation plus the bookkeeping it was derived from:
+// the demand it satisfies, each DC's aggregate hose usage, and the
+// per-duct fiber occupancy. Retaining the books is what makes delta
+// allocation possible — AllocateDelta re-solves only the pairs a
+// traffic.Delta names and re-audits only the ducts their circuits touch,
+// instead of recomputing the whole region.
+//
+// An AllocState is single-owner mutable state: AllocateDelta updates it in
+// place. It is not safe for concurrent use; callers that publish the
+// contained Allocation elsewhere should hand out Snapshot().
+type AllocState struct {
+	// FallbackFrac overrides DefaultDeltaFallbackFrac when positive.
+	FallbackFrac float64
+
+	dep   *Deployment
+	alloc Allocation
+	dcs   []int
+	// demand holds the nonzero demand per (canonical) pair.
+	demand map[hose.Pair]float64
+	// perDC is each DC's aggregate demand — the hose usage the feasibility
+	// check audits.
+	perDC map[int]float64
+	// fibersByDuct / residualByDuct mirror the occupancy checks of a full
+	// Allocate: full fiber-pairs and residual-fiber users per duct.
+	fibersByDuct   map[int]int
+	residualByDuct map[int]int
+	// pairIdx/ductPairs are the static reverse index of the plan's paths:
+	// each planned pair gets a dense index, and ductPairs lists the pair
+	// indices riding each duct. The index drives the cascade accounting —
+	// when a duct gains or loses headroom, these are the pairs whose
+	// admissibility is re-audited.
+	pairIdx   map[hose.Pair]int32
+	ductPairs [][]int32 // indexed by duct ID
+
+	// Scratch buffers reused across AllocateDelta calls so the hot path
+	// allocates O(delta) rather than O(region). Generation stamps avoid
+	// clearing between calls; AllocState is single-owner, so sharing them
+	// is safe.
+	gen      uint32
+	ductGen  []uint32 // per duct ID: generation that last touched it
+	touched  []int    // touched duct IDs, this generation
+	pairGen  []uint32 // per pair index: generation that last marked it
+	aggDCs   []int    // affected DCs, this generation
+	aggDiffs []float64
+}
+
+// nextGen advances the scratch generation, resetting the stamp buffers on
+// wraparound.
+func (st *AllocState) nextGen() {
+	st.gen++
+	if st.gen == 0 {
+		for i := range st.ductGen {
+			st.ductGen[i] = 0
+		}
+		for i := range st.pairGen {
+			st.pairGen[i] = 0
+		}
+		st.gen = 1
+	}
+	st.touched = st.touched[:0]
+	st.aggDCs = st.aggDCs[:0]
+	st.aggDiffs = st.aggDiffs[:0]
+}
+
+// markDuct records a duct as touched this generation.
+func (st *AllocState) markDuct(duct int) {
+	if duct >= len(st.ductGen) {
+		grown := make([]uint32, duct+1)
+		copy(grown, st.ductGen)
+		st.ductGen = grown
+	}
+	if st.ductGen[duct] != st.gen {
+		st.ductGen[duct] = st.gen
+		st.touched = append(st.touched, duct)
+	}
+}
+
+// Allocation returns the state's current circuit assignment. The returned
+// maps alias the live books: they change on the next AllocateDelta. Use
+// Snapshot for a stable copy.
+func (st *AllocState) Allocation() Allocation { return st.alloc }
+
+// Snapshot returns a deep copy of the current circuit assignment, safe to
+// retain across further delta applications.
+func (st *AllocState) Snapshot() Allocation {
+	c := Allocation{
+		Fibers:   make(map[hose.Pair]int, len(st.alloc.Fibers)),
+		Residual: make(map[hose.Pair]int, len(st.alloc.Residual)),
+	}
+	for p, v := range st.alloc.Fibers {
+		c.Fibers[p] = v
+	}
+	for p, v := range st.alloc.Residual {
+		c.Residual[p] = v
+	}
+	return c
+}
+
+// Demand returns the demand the state currently satisfies for a pair.
+func (st *AllocState) Demand(p hose.Pair) float64 { return st.demand[p.Canonical()] }
+
+// DemandMatrix reconstructs the demand matrix the state satisfies.
+func (st *AllocState) DemandMatrix() *traffic.Matrix {
+	m := traffic.NewMatrix(st.dcs)
+	for p, v := range st.demand {
+		m.Set(p, v)
+	}
+	return m
+}
+
+// Deployment returns the deployment the state allocates against.
+func (st *AllocState) Deployment() *Deployment { return st.dep }
+
+// DeltaStats describes how one AllocateDelta was solved.
+type DeltaStats struct {
+	// Incremental is true when the delta path ran; false when the engine
+	// fell back to a from-scratch solve.
+	Incremental bool
+	// FallbackReason says why a full solve ran (empty when Incremental).
+	FallbackReason string
+	// PairsResolved is the number of pairs whose circuits were recomputed.
+	PairsResolved int
+	// PairsRevalidated counts duct-sharing neighbours whose admissibility
+	// was re-audited because a duct they ride gained or lost headroom.
+	PairsRevalidated int
+	// DuctsTouched is the number of ducts whose occupancy changed.
+	DuctsTouched int
+}
+
+// Undo lets a caller revert one AllocateDelta after a downstream failure
+// (e.g. the devices rejected the reconfiguration the new allocation
+// implies). The zero Undo is a no-op.
+type Undo struct {
+	st *AllocState
+	// prev holds the old demands of the changed pairs; rollback re-applies
+	// them through the same incremental path.
+	prev traffic.Delta
+	// books holds the wholesale pre-fallback state when the full solver
+	// ran; swap-restore is cheaper than replaying a large delta.
+	books *allocBooks
+}
+
+type allocBooks struct {
+	alloc          Allocation
+	demand         map[hose.Pair]float64
+	perDC          map[int]float64
+	fibersByDuct   map[int]int
+	residualByDuct map[int]int
+}
+
+// Rollback restores the state to its books before the AllocateDelta that
+// produced this undo. It is one-shot: further calls no-op.
+func (u *Undo) Rollback() {
+	st := u.st
+	if st == nil {
+		return
+	}
+	u.st = nil
+	if u.books != nil {
+		st.alloc = u.books.alloc
+		st.demand = u.books.demand
+		st.perDC = u.books.perDC
+		st.fibersByDuct = u.books.fibersByDuct
+		st.residualByDuct = u.books.residualByDuct
+		return
+	}
+	// Re-applying the inverse delta restores a state known feasible, so
+	// neither the hose nor the duct audit can fail here.
+	st.nextGen()
+	for p, old := range u.prev.Changes {
+		// The forward pass validated every changed pair's path; the
+		// inverse walk cannot miss.
+		_ = st.applyPairDelta(p, old)
+	}
+}
+
+// captureBooks moves the live books out of the state (for a fallback undo)
+// without copying.
+func (st *AllocState) captureBooks() *allocBooks {
+	return &allocBooks{
+		alloc:          st.alloc,
+		demand:         st.demand,
+		perDC:          st.perDC,
+		fibersByDuct:   st.fibersByDuct,
+		residualByDuct: st.residualByDuct,
+	}
+}
+
+// AllocateState runs a full allocation like Allocate but retains the
+// occupancy books, so subsequent demand shifts can be applied with
+// AllocateDelta instead of re-solving the region.
+func (d *Deployment) AllocateState(m *traffic.Matrix) (*AllocState, error) {
+	st, err := d.allocFull(m)
+	if err != nil {
+		return nil, err
+	}
+	st.buildPairIndex()
+	return st, nil
+}
+
+func (st *AllocState) buildPairIndex() {
+	pairs := make([]hose.Pair, 0, len(st.dep.Plan.Paths))
+	for p := range st.dep.Plan.Paths {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	maxDuct := 0
+	for _, p := range pairs {
+		for _, duct := range st.dep.Plan.Paths[p].Ducts {
+			if duct > maxDuct {
+				maxDuct = duct
+			}
+		}
+	}
+	st.pairIdx = make(map[hose.Pair]int32, len(pairs))
+	st.ductPairs = make([][]int32, maxDuct+1)
+	for i, p := range pairs {
+		st.pairIdx[p] = int32(i)
+		for _, duct := range st.dep.Plan.Paths[p].Ducts {
+			st.ductPairs[duct] = append(st.ductPairs[duct], int32(i))
+		}
+	}
+	st.ductGen = make([]uint32, maxDuct+1)
+	st.pairGen = make([]uint32, len(pairs))
+}
+
+// AllocateDelta applies a sparse demand update to an AllocState produced
+// by AllocateState (or a previous AllocateDelta): the pairs the delta
+// names are re-solved, the ducts their circuits ride are re-audited
+// against provisioned capacity (together with the hose feasibility of the
+// affected DCs), and every other pair's books are left untouched. When
+// the delta covers more than FallbackFrac of the region's planned pairs
+// the engine falls back to a from-scratch solve, which is cheaper at that
+// size.
+//
+// On success the state is updated in place and the returned Undo can
+// revert it (for callers whose downstream commit fails). On error the
+// state is unchanged and the allocation it holds remains valid.
+func (d *Deployment) AllocateDelta(st *AllocState, delta traffic.Delta) (Undo, DeltaStats, error) {
+	if st == nil || st.dep != d || st.pairIdx == nil {
+		return Undo{}, DeltaStats{}, fmt.Errorf("core: AllocateDelta needs a state from this deployment's AllocateState")
+	}
+
+	// Normalize: drop no-op entries so stats and the fallback decision see
+	// the real cascade size.
+	changed := make([]hose.Pair, 0, delta.Len())
+	for p, v := range delta.Changes {
+		if st.demand[p] != v {
+			changed = append(changed, p)
+		}
+	}
+	if len(changed) == 0 {
+		return Undo{}, DeltaStats{Incremental: true}, nil
+	}
+	sort.Slice(changed, func(i, j int) bool {
+		if changed[i].A != changed[j].A {
+			return changed[i].A < changed[j].A
+		}
+		return changed[i].B < changed[j].B
+	})
+
+	frac := st.FallbackFrac
+	if frac <= 0 {
+		frac = DefaultDeltaFallbackFrac
+	}
+	if total := len(d.Plan.Paths); float64(len(changed)) > frac*float64(total) {
+		return st.fallbackFull(delta, fmt.Sprintf("delta covers %d of %d pairs", len(changed), total))
+	}
+	st.nextGen()
+
+	// Hose feasibility of the affected DCs, checked before any mutation so
+	// an infeasible delta leaves the state untouched.
+	lambda := d.Region.Lambda
+	for _, p := range changed {
+		diff := delta.Changes[p] - st.demand[p]
+		st.addAggDiff(p.A, diff)
+		st.addAggDiff(p.B, diff)
+	}
+	for i, dc := range st.aggDCs {
+		agg := st.perDC[dc] + st.aggDiffs[i]
+		capW := float64(d.Region.Capacity[dc] * lambda)
+		if agg > capW+1e-9 {
+			return Undo{}, DeltaStats{}, fmt.Errorf(
+				"core: DC %d aggregate demand %.1f wavelengths exceeds capacity %.0f",
+				dc, agg, capW)
+		}
+	}
+
+	// Every changed pair must have a planned path (unless it is being
+	// drained to zero and never carried circuits).
+	for _, p := range changed {
+		if _, ok := d.Plan.Paths[p]; !ok && delta.Changes[p] > 0 {
+			return Undo{}, DeltaStats{}, fmt.Errorf("core: no planned path for pair %d-%d", p.A, p.B)
+		}
+	}
+
+	undo := Undo{st: st, prev: traffic.NewDelta()}
+	for _, p := range changed {
+		undo.prev.Changes[p] = st.demand[p]
+	}
+
+	for _, p := range changed {
+		if err := st.applyPairDelta(p, delta.Changes[p]); err != nil {
+			undo.Rollback()
+			return Undo{}, DeltaStats{}, err
+		}
+	}
+
+	// Re-audit the ducts whose occupancy moved — the incremental
+	// equivalent of Allocate's region-wide provisioning check. Untouched
+	// ducts kept their (previously validated) occupancy.
+	sort.Ints(st.touched)
+	gen := st.gen
+	for _, p := range changed {
+		if idx, ok := st.pairIdx[p]; ok {
+			st.pairGen[idx] = gen
+		}
+	}
+	revalidated := 0
+	for _, duct := range st.touched {
+		du := d.Plan.Ducts[duct]
+		if used := st.fibersByDuct[duct]; du == nil || used > du.BasePairs {
+			base := 0
+			if du != nil {
+				base = du.BasePairs
+			}
+			undo.Rollback()
+			return Undo{}, DeltaStats{}, fmt.Errorf(
+				"core: duct %d needs %d full fibers, provisioned %d", duct, used, base)
+		}
+		if used := st.residualByDuct[duct]; used > du.ResidualPairs {
+			undo.Rollback()
+			return Undo{}, DeltaStats{}, fmt.Errorf(
+				"core: duct %d needs %d residual fibers, provisioned %d", duct, used, du.ResidualPairs)
+		}
+		for _, idx := range st.ductPairs[duct] {
+			if st.pairGen[idx] != gen {
+				st.pairGen[idx] = gen
+				revalidated++
+			}
+		}
+	}
+
+	return undo, DeltaStats{
+		Incremental:      true,
+		PairsResolved:    len(changed),
+		PairsRevalidated: revalidated,
+		DuctsTouched:     len(st.touched),
+	}, nil
+}
+
+// addAggDiff accumulates one DC's demand diff into the per-call scratch.
+// Affected-DC counts are tiny (2 per changed pair), so a linear scan beats
+// a map.
+func (st *AllocState) addAggDiff(dc int, diff float64) {
+	for i, d := range st.aggDCs {
+		if d == dc {
+			st.aggDiffs[i] += diff
+			return
+		}
+	}
+	st.aggDCs = append(st.aggDCs, dc)
+	st.aggDiffs = append(st.aggDiffs, diff)
+}
+
+// fallbackFull re-solves the whole region from the state's demand plus the
+// delta, replacing the books in place so the caller's pointer stays valid.
+func (st *AllocState) fallbackFull(delta traffic.Delta, reason string) (Undo, DeltaStats, error) {
+	m := st.DemandMatrix()
+	delta.ApplyTo(m)
+	fresh, err := st.dep.allocFull(m)
+	if err != nil {
+		return Undo{}, DeltaStats{}, err
+	}
+	undo := Undo{st: st, books: st.captureBooks()}
+	st.alloc = fresh.alloc
+	st.demand = fresh.demand
+	st.perDC = fresh.perDC
+	st.fibersByDuct = fresh.fibersByDuct
+	st.residualByDuct = fresh.residualByDuct
+	return undo, DeltaStats{FallbackReason: reason, PairsResolved: len(st.dep.Plan.Paths)}, nil
+}
+
+// pairCircuits converts one pair's demand (in wavelengths) to circuits:
+// full dedicated fiber-pairs plus residual wavelengths (§4.3).
+func pairCircuits(demand float64, lambda int) (full, rem int) {
+	if demand == 0 {
+		return 0, 0
+	}
+	full = int(demand) / lambda
+	rem = int(math.Ceil(demand-1e-9)) - full*lambda
+	if rem < 0 {
+		rem = 0
+	}
+	return full, rem
+}
+
+// inSortedInts reports membership in a small ascending slice. Cut-duct
+// lists hold at most a handful of entries, so a linear scan beats both a
+// map allocation and binary-search bookkeeping on the hot path.
+func inSortedInts(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+		if x > v {
+			return false
+		}
+	}
+	return false
+}
+
+// applyPairDelta moves one pair from its currently booked demand to
+// newDemand: circuit entries, hose aggregates and duct occupancies are all
+// updated, and every duct whose occupancy changed is marked touched for
+// the current generation. The caller validates hose feasibility beforehand
+// and duct capacity afterwards.
+func (st *AllocState) applyPairDelta(p hose.Pair, newDemand float64) error {
+	oldDemand := st.demand[p]
+	if oldDemand == newDemand {
+		return nil
+	}
+	info, ok := st.dep.Plan.Paths[p]
+	if !ok {
+		if newDemand == 0 && oldDemand == 0 {
+			return nil
+		}
+		return fmt.Errorf("core: no planned path for pair %d-%d", p.A, p.B)
+	}
+	lambda := st.dep.Region.Lambda
+	oldFull, oldRem := pairCircuits(oldDemand, lambda)
+	newFull, newRem := pairCircuits(newDemand, lambda)
+
+	if newDemand == 0 {
+		delete(st.demand, p)
+		delete(st.alloc.Fibers, p)
+		delete(st.alloc.Residual, p)
+	} else {
+		st.demand[p] = newDemand
+		st.alloc.Fibers[p] = newFull
+		st.alloc.Residual[p] = newRem
+	}
+	st.perDC[p.A] += newDemand - oldDemand
+	st.perDC[p.B] += newDemand - oldDemand
+
+	fullDiff := newFull - oldFull
+	resDiff := 0
+	if oldRem > 0 {
+		resDiff--
+	}
+	if newRem > 0 {
+		resDiff++
+	}
+	if fullDiff == 0 && resDiff == 0 {
+		return nil
+	}
+	for _, duct := range info.Ducts {
+		// Ducts covered by this pair's cut-through carry its traffic on
+		// the dedicated cut-through fiber, not base capacity.
+		if fullDiff != 0 && !inSortedInts(info.CutDucts, duct) {
+			st.fibersByDuct[duct] += fullDiff
+			st.markDuct(duct)
+		}
+		if resDiff != 0 {
+			st.residualByDuct[duct] += resDiff
+			st.markDuct(duct)
+		}
+	}
+	return nil
+}

@@ -52,6 +52,13 @@ type Config struct {
 	// Interval is the control-loop cadence: how often the daemon takes the
 	// next traffic matrix and converges on it (default 2s).
 	Interval time.Duration
+	// MaxBatch bounds how many queued traffic shifts one Step coalesces
+	// into a single convergence (default 1, no coalescing). When the feed
+	// outpaces the loop — a burst of ticks between intervals — the daemon
+	// folds the burst into one incremental solve against the newest matrix
+	// instead of reconfiguring once per tick; skipped intermediates are
+	// counted in iris_daemon_coalesced_shifts_total.
+	MaxBatch int
 	// ProbeInterval is the device health-probe cadence (default 1s).
 	ProbeInterval time.Duration
 	// FailureThreshold is the consecutive failures (probe or attributed
@@ -103,10 +110,17 @@ type Daemon struct {
 	// is never mutated while installed — changes are compiled on clones —
 	// so holding mu only for pointer reads/swaps keeps /status responsive
 	// during slow reconfigurations.
-	mu          sync.Mutex
-	fab         *fabric.Fabric
-	lkg         core.Allocation // last-known-good allocation
-	haveLKG     bool
+	mu      sync.Mutex
+	fab     *fabric.Fabric
+	lkg     core.Allocation // last-known-good allocation
+	haveLKG bool
+	// allocState is the incremental allocator's retained books; lastMatrix
+	// is the demand those books satisfy. converge diffs each new matrix
+	// against lastMatrix and hands core.AllocateDelta the sparse update,
+	// re-solving the whole region only on the first convergence, after a
+	// deployment swap, or when the delta cascade trips the fallback.
+	allocState  *core.AllocState
+	lastMatrix  *traffic.Matrix
 	pending     *traffic.Matrix // shift taken from the feed, not yet applied
 	needRepair  bool            // devices may have diverged from intent
 	steps       int
@@ -136,6 +150,10 @@ type metricsSet struct {
 	reconfigSeconds   *telemetry.Histogram
 	phaseSeconds      *telemetry.HistogramVec
 	allocFailures     *telemetry.Counter
+	allocIncremental  *telemetry.Counter
+	allocFallback     *telemetry.Counter
+	allocPairs        *telemetry.Histogram
+	coalesced         *telemetry.Counter
 	audits            *telemetry.Counter
 	auditFailures     *telemetry.Counter
 	reconciles        *telemetry.Counter
@@ -161,6 +179,9 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 2 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = time.Second
@@ -222,6 +243,10 @@ func (d *Daemon) initMetrics() {
 	d.m.reconfigSeconds = r.Histogram("iris_reconfig_seconds", "End-to-end reconfiguration latency.", latencyBuckets)
 	d.m.phaseSeconds = r.HistogramVec("iris_reconfig_phase_seconds", "Per-phase reconfiguration latency (drain, switch, amps, retune, fill, undrain).", "phase", latencyBuckets)
 	d.m.allocFailures = r.Counter("iris_allocation_failures_total", "Traffic matrices rejected as unallocatable.")
+	d.m.allocIncremental = r.Counter("iris_alloc_incremental_total", "Convergences solved by the incremental delta allocator.")
+	d.m.allocFallback = r.Counter("iris_alloc_fallback_total", "Convergences solved from scratch (first solve, deployment swap, or delta-cascade fallback).")
+	d.m.allocPairs = r.Histogram("iris_alloc_pairs_resolved", "DC pairs whose circuits were recomputed per convergence.", []float64{1, 2, 5, 10, 20, 50, 100, 250, 500})
+	d.m.coalesced = r.Counter("iris_daemon_coalesced_shifts_total", "Intermediate traffic shifts skipped by batched convergence (MaxBatch).")
 	d.m.audits = r.Counter("iris_audit_total", "Device-state audits executed.")
 	d.m.auditFailures = r.Counter("iris_audit_failures_total", "Audits that found devices diverged from intent.")
 	d.m.reconciles = r.Counter("iris_reconcile_total", "Reconciliation repairs executed after partial failures.")
@@ -300,11 +325,22 @@ func (d *Daemon) Step() (done bool) {
 		if !ok {
 			return true
 		}
-		d.mu.Lock()
-		d.pending = m
 		pending = m
-		d.mu.Unlock()
 	}
+	// Coalesce a burst: fold up to MaxBatch queued shifts into one
+	// convergence on the newest matrix. The incremental allocator sees the
+	// merged delta, so intermediates cost nothing but this drain.
+	for i := 1; i < d.cfg.MaxBatch; i++ {
+		m, ok := d.feed.Next()
+		if !ok {
+			break
+		}
+		d.m.coalesced.Inc()
+		pending = m
+	}
+	d.mu.Lock()
+	d.pending = pending
+	d.mu.Unlock()
 	if err := d.converge(pending); err != nil {
 		d.setErr(err.Error())
 		d.log.Warn("step failed", "err", err)
@@ -330,21 +366,59 @@ func (d *Daemon) nextTraceID() uint64 {
 // device reconfiguration gets a reconfig ID: the root span of a trace
 // that is threaded through the controller's phases, the closing audit,
 // and any breaker penalty the failure attribution produces.
+//
+// Allocation is incremental: the daemon diffs the matrix against the one
+// its retained AllocState satisfies and re-solves only the changed pairs.
+// A from-scratch solve runs on the first convergence, after the fabric's
+// deployment is swapped out from under the state, or when the delta
+// cascade trips core's fallback threshold. If the devices reject the
+// change, the delta is rolled back so the books keep matching the
+// last-known-good intent the repair pass restores.
 func (d *Daemon) converge(tm *traffic.Matrix) error {
 	d.mu.Lock()
 	fab, lkg, haveLKG := d.fab, d.lkg, d.haveLKG
+	st, last := d.allocState, d.lastMatrix
 	d.mu.Unlock()
 
-	alloc, err := fab.Deployment().Allocate(tm)
-	if err != nil {
-		// The demand is infeasible for the planned region: drop the shift
-		// and keep serving the last-known-good allocation.
-		d.m.allocFailures.Inc()
-		d.dropPending()
-		return fmt.Errorf("allocate: %w", err)
+	dep := fab.Deployment()
+	var (
+		undo  core.Undo
+		stats core.DeltaStats
+	)
+	if st != nil && last != nil && st.Deployment() == dep {
+		u, s, err := dep.AllocateDelta(st, traffic.DiffMatrices(last, tm))
+		if err != nil {
+			// The demand is infeasible for the planned region: drop the
+			// shift and keep serving the last-known-good allocation. An
+			// infeasible delta leaves the books untouched.
+			d.m.allocFailures.Inc()
+			d.dropPending()
+			return fmt.Errorf("allocate: %w", err)
+		}
+		undo, stats = u, s
+	} else {
+		ns, err := dep.AllocateState(tm)
+		if err != nil {
+			d.m.allocFailures.Inc()
+			d.dropPending()
+			return fmt.Errorf("allocate: %w", err)
+		}
+		st = ns
+		stats = core.DeltaStats{FallbackReason: "full solve", PairsResolved: len(dep.Plan.Paths)}
 	}
+	if stats.Incremental {
+		d.m.allocIncremental.Inc()
+	} else {
+		d.m.allocFallback.Inc()
+	}
+	d.m.allocPairs.Observe(float64(stats.PairsResolved))
+
+	// Snapshot decouples the published allocation from the live books,
+	// which the next delta mutates in place.
+	alloc := st.Snapshot()
 	if haveLKG && alloc.Equal(lkg) {
 		d.mu.Lock()
+		d.allocState, d.lastMatrix = st, tm
 		d.pending = nil
 		d.lastGoodAt = d.now()
 		d.mu.Unlock()
@@ -357,9 +431,12 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	ctx := trace.ContextWith(context.Background(), root)
 
 	csp := root.Child("compile")
+	csp.SetAttr(fmt.Sprintf("incremental=%v pairs_resolved=%d pairs_revalidated=%d ducts_touched=%d",
+		stats.Incremental, stats.PairsResolved, stats.PairsRevalidated, stats.DuctsTouched))
 	clone := fab.Clone()
 	ch, err := clone.CompileTarget(alloc)
 	if err != nil {
+		undo.Rollback()
 		csp.Fail(err)
 		csp.Finish()
 		root.Fail(err)
@@ -372,8 +449,10 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	rep, err := d.ctl.Reconfigure(ctx, ch)
 	if err != nil {
 		// The devices may be partially reconfigured; keep the old fabric
-		// as intent (the clone is discarded), penalise the culprit, and
-		// reconcile once the region is healthy again.
+		// as intent (the clone is discarded, the delta rolled back),
+		// penalise the culprit, and reconcile once the region is healthy
+		// again.
+		undo.Rollback()
 		d.m.reconfigFailures.Inc()
 		d.penalizeIn(id, err)
 		d.mu.Lock()
@@ -397,6 +476,7 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	d.fab = clone
 	d.lkg = alloc
 	d.haveLKG = true
+	d.allocState, d.lastMatrix = st, tm
 	d.pending = nil
 	d.lastGoodAt = d.now()
 	d.lastReconfigID = id

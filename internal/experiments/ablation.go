@@ -54,8 +54,12 @@ func ClosAblation(cfg ClosConfig) ([]ClosRow, error) {
 	var rows []ClosRow
 	for _, seed := range cfg.MapSeeds {
 		for _, n := range cfg.Ns {
-			m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-			dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed*31+int64(n), n))
+			gcfg := fibermap.DefaultGen()
+			gcfg.Seed = seed
+			m := fibermap.Generate(gcfg)
+			pcfg := fibermap.DefaultPlace()
+			pcfg.Seed, pcfg.N = seed*31+int64(n), n
+			dcs, err := fibermap.PlaceDCs(m, pcfg)
 			if err != nil {
 				return nil, fmt.Errorf("map %d n=%d: %w", seed, n, err)
 			}
@@ -153,8 +157,12 @@ func WSSAblation(cfg WSSConfig) ([]WSSRow, error) {
 	var rows []WSSRow
 	for _, seed := range cfg.MapSeeds {
 		for _, n := range cfg.Ns {
-			m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-			dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed*31+int64(n), n))
+			gcfg := fibermap.DefaultGen()
+			gcfg.Seed = seed
+			m := fibermap.Generate(gcfg)
+			pcfg := fibermap.DefaultPlace()
+			pcfg.Seed, pcfg.N = seed*31+int64(n), n
+			dcs, err := fibermap.PlaceDCs(m, pcfg)
 			if err != nil {
 				return nil, fmt.Errorf("map %d n=%d: %w", seed, n, err)
 			}

@@ -48,8 +48,12 @@ func CentralVsDistributed(cfg CentralConfig) ([]CentralRow, error) {
 	prices := cost.Default()
 	var rows []CentralRow
 	for _, seed := range cfg.MapSeeds {
-		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+9, cfg.N))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		m := fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = seed+9, cfg.N
+		dcs, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			return nil, fmt.Errorf("map %d: %w", seed, err)
 		}

@@ -123,11 +123,15 @@ func prepareRegions(cfg SweepConfig) (map[regionKey]*sweepRegion, error) {
 	perSeed := make([]map[regionKey]*sweepRegion, len(cfg.MapSeeds))
 	err := parallel.ForEach(len(cfg.MapSeeds), cfg.Parallelism, func(i int) error {
 		seed := cfg.MapSeeds[i]
-		base := fibermap.Generate(fibermap.DefaultGenConfig(seed))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		base := fibermap.Generate(gcfg)
 		out := make(map[regionKey]*sweepRegion, len(cfg.Ns))
 		for _, n := range cfg.Ns {
 			m := base.Clone()
-			dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed*31+int64(n), n))
+			pcfg := fibermap.DefaultPlace()
+			pcfg.Seed, pcfg.N = seed*31+int64(n), n
+			dcs, err := fibermap.PlaceDCs(m, pcfg)
 			if err != nil {
 				return fmt.Errorf("map %d n=%d: %w", seed, n, err)
 			}

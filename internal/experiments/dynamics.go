@@ -198,8 +198,12 @@ func DefaultFig17Region() Fig17RegionConfig {
 
 // Fig17Region runs the study on one planned deployment.
 func Fig17Region(cfg Fig17RegionConfig) ([]Fig17Point, error) {
-	m := fibermap.Generate(fibermap.DefaultGenConfig(cfg.MapSeed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(cfg.MapSeed, cfg.NDCs))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = cfg.MapSeed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = cfg.MapSeed, cfg.NDCs
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		return nil, err
 	}

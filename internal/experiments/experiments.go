@@ -63,8 +63,12 @@ type Fig3Result struct {
 func Fig3(cfg Fig3Config) (Fig3Result, error) {
 	var pool []float64
 	for seed := int64(0); seed < int64(cfg.Regions); seed++ {
-		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed*7+1, cfg.DCsPerRegion))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		m := fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = seed*7+1, cfg.DCsPerRegion
+		dcs, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			return Fig3Result{}, fmt.Errorf("region %d: %w", seed, err)
 		}
@@ -124,8 +128,12 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 	span := cfg.MaxDCs - cfg.MinDCs + 1
 	for seed := int64(0); seed < int64(cfg.Regions); seed++ {
 		n := cfg.MinDCs + int(seed)%span
-		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+50, n))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		m := fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = seed+50, n
+		dcs, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			return Fig6Result{}, fmt.Errorf("region %d: %w", seed, err)
 		}

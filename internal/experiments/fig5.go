@@ -24,8 +24,12 @@ func DefaultFig5() Fig5Config { return Fig5Config{Seed: 2, DCs: 4, Width: 72} }
 // area ('+' plus '#') is identical in both; the centralized area ('#')
 // shrinks when the hubs spread out.
 func Fig5(cfg Fig5Config) (nearMap, farMap string, err error) {
-	m := fibermap.Generate(fibermap.DefaultGenConfig(cfg.Seed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(cfg.Seed+50, cfg.DCs))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = cfg.Seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = cfg.Seed+50, cfg.DCs
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		return "", "", err
 	}

@@ -94,8 +94,12 @@ func Survivability(cfg SurvivabilityConfig) (*SurvivabilityResult, error) {
 		m = fibermap.Toy().Map
 		name = "toy (Fig. 10)"
 	} else {
-		m = fibermap.Generate(fibermap.DefaultGenConfig(cfg.Seed))
-		sites, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(cfg.Seed, cfg.DCs))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = cfg.Seed
+		m = fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = cfg.Seed, cfg.DCs
+		sites, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			return nil, fmt.Errorf("place DCs: %w", err)
 		}

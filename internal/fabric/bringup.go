@@ -56,8 +56,12 @@ func BringUp(cfg BringUpConfig) (*Rig, error) {
 	if cfg.Toy {
 		m = fibermap.Toy().Map
 	} else {
-		m = fibermap.Generate(fibermap.DefaultGenConfig(cfg.Seed))
-		if _, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(cfg.Seed, cfg.DCs)); err != nil {
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = cfg.Seed
+		m = fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = cfg.Seed, cfg.DCs
+		if _, err := fibermap.PlaceDCs(m, pcfg); err != nil {
 			return nil, fmt.Errorf("fabric: bringup: %w", err)
 		}
 	}

@@ -294,8 +294,12 @@ func TestEndToEndWithController(t *testing.T) {
 func TestGeneratedRegionFabric(t *testing.T) {
 	// Fabric compilation works on planned synthetic regions, including
 	// paths with amplifiers and cut-throughs.
-	m := fibermap.Generate(fibermap.DefaultGenConfig(4))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(4, 6))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = 4
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = 4, 6
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,8 +55,12 @@ func TestRegionExperimentOnToy(t *testing.T) {
 }
 
 func TestRegionExperimentOnPlannedRegion(t *testing.T) {
-	m := fibermap.Generate(fibermap.DefaultGenConfig(8))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(8, 6))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = 8
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = 8, 6
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,8 +87,12 @@ func TestInflationsSkipsColocated(t *testing.T) {
 func TestFig3Shape(t *testing.T) {
 	var pool []float64
 	for seed := int64(0); seed < 22; seed++ {
-		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed*7+1, 8))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		m := fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = seed*7+1, 8
+		dcs, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

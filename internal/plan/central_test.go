@@ -79,8 +79,12 @@ func TestCentralizedVsDistributedOnToy(t *testing.T) {
 }
 
 func TestCentralizedOnGeneratedRegion(t *testing.T) {
-	m := fibermap.Generate(fibermap.DefaultGenConfig(6))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(6, 6))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = 6
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = 6, 6
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -389,8 +389,12 @@ func TestPlannedRegionsSatisfyAllConstraints(t *testing.T) {
 	// in the plan satisfies the full optical constraint set and capacity
 	// covers every DC pair's minimum.
 	for seed := int64(0); seed < 3; seed++ {
-		m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-		dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, 6))
+		gcfg := fibermap.DefaultGen()
+		gcfg.Seed = seed
+		m := fibermap.Generate(gcfg)
+		pcfg := fibermap.DefaultPlace()
+		pcfg.Seed, pcfg.N = seed, 6
+		dcs, err := fibermap.PlaceDCs(m, pcfg)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

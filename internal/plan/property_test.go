@@ -9,8 +9,12 @@ import (
 // planRegion is a helper for the monotonicity properties.
 func planRegion(t *testing.T, seed int64, n, f, maxFailures int) *Plan {
 	t.Helper()
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed, n))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed, n
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}

@@ -9,8 +9,12 @@ import (
 
 func region(t *testing.T, seed int64, nDCs int) (*fibermap.Map, []int) {
 	t.Helper()
-	m := fibermap.Generate(fibermap.DefaultGenConfig(seed))
-	dcs, err := fibermap.PlaceDCs(m, fibermap.DefaultPlaceConfig(seed+50, nDCs))
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed+50, nDCs
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}

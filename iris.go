@@ -4,25 +4,47 @@
 // and the Iris all-optical, fiber-switched DCI architecture.
 //
 // This top-level package is the public face of the library for downstream
-// importers: it re-exports the planning, costing, allocation and
-// fiber-map types from the implementation packages under internal/. The
-// typical flow is:
+// importers: it re-exports the planning, costing, allocation, chaos,
+// experiment and control-plane types from the implementation packages
+// under internal/. The typical flow is:
 //
-//	m := iris.GenerateMap(iris.DefaultGenConfig(seed))
-//	dcs, err := iris.PlaceDCs(m, iris.DefaultPlaceConfig(seed, 8))
+//	gcfg := iris.DefaultGen()
+//	gcfg.Seed = seed
+//	m := iris.GenerateMap(gcfg)
+//	pcfg := iris.DefaultPlace()
+//	pcfg.Seed = seed
+//	dcs, err := iris.PlaceDCs(m, pcfg)
 //	dep, err := iris.Plan(iris.Region{Map: m, Capacity: caps, Lambda: 40},
-//	    iris.Options{MaxFailures: 2})
+//	    iris.DefaultOptions())
 //	alloc, err := dep.Allocate(matrix)          // circuits for a demand matrix
 //	moves := iris.Diff(oldAlloc, newAlloc)      // what a reconfiguration touches
 //
-// The cmd/ tools (irisplan, irisbench, irisctl) and examples/ programs
-// exercise the same API end to end; DESIGN.md catalogues the system
-// inventory and EXPERIMENTS.md the paper-vs-measured outcomes.
+// A control loop that applies many successive demand shifts allocates
+// incrementally instead of re-solving per shift:
+//
+//	st, err := dep.AllocateState(matrix)        // full solve, books retained
+//	delta := iris.DiffMatrices(matrix, next)    // the pairs that moved
+//	undo, stats, err := dep.AllocateDelta(st, delta)
+//
+// and the irisd daemon (DaemonConfig, NewDaemon) wraps that loop with
+// drained reconfigurations, health supervision and an HTTP metrics/status
+// surface. Survivability audits (Survivability) and live fault injection
+// (chaos Scenario / AuditResult) ride on the same planned deployments.
+//
+// Every config type follows one construction idiom: call its Default*
+// helper and mutate the returned struct (for example DefaultGen, then set
+// Seed). The cmd/ tools (irisplan, irisbench, irisctl, irisd) and
+// examples/ programs exercise the same API end to end; DESIGN.md
+// catalogues the system inventory and EXPERIMENTS.md the paper-vs-measured
+// outcomes.
 package iris
 
 import (
+	"iris/internal/chaos"
 	"iris/internal/core"
 	"iris/internal/cost"
+	"iris/internal/daemon"
+	"iris/internal/experiments"
 	"iris/internal/fibermap"
 	"iris/internal/hose"
 	"iris/internal/traffic"
@@ -59,6 +81,24 @@ type (
 	Breakdown = cost.Breakdown
 )
 
+// Incremental-allocation types (internal/core, internal/traffic). An
+// AllocState retains the occupancy books of an allocation so successive
+// demand shifts re-solve only the changed DC pairs.
+type (
+	// AllocState is an Allocation plus the bookkeeping it was derived
+	// from; produce with Deployment.AllocateState, advance with
+	// Deployment.AllocateDelta.
+	AllocState = core.AllocState
+	// DeltaStats reports how one AllocateDelta was solved (incremental or
+	// fallback, pairs re-solved and re-audited).
+	DeltaStats = core.DeltaStats
+	// Undo reverts one AllocateDelta after a downstream failure.
+	Undo = core.Undo
+	// Delta is a sparse demand update: changed DC pairs mapped to their
+	// new absolute demand.
+	Delta = traffic.Delta
+)
+
 // Traffic types (internal/traffic, internal/hose).
 type (
 	// Matrix is a symmetric DC-pair demand matrix.
@@ -69,23 +109,63 @@ type (
 	ChangeProcess = traffic.ChangeProcess
 )
 
+// Failure-scenario and survivability types (internal/chaos,
+// internal/experiments).
+type (
+	// Scenario is one failure event: simultaneously severed ducts tagged
+	// with their cause (duct cut, hut loss, amp failure, geo event).
+	Scenario = chaos.Scenario
+	// AuditResult is the survivability audit outcome for one scenario.
+	AuditResult = chaos.Result
+	// SurvivabilityConfig parameterises the region-wide survivability
+	// experiment.
+	SurvivabilityConfig = experiments.SurvivabilityConfig
+	// SurvivabilityResult aggregates audit outcomes per failure class.
+	SurvivabilityResult = experiments.SurvivabilityResult
+)
+
+// Control-plane types (internal/daemon).
+type (
+	// DaemonConfig parameterises the irisd regional control loop.
+	DaemonConfig = daemon.Config
+	// Daemon is the long-running control loop: construct with NewDaemon,
+	// drive with Run, observe via Handler/Status.
+	Daemon = daemon.Daemon
+)
+
 // Toy returns the paper's Fig. 10 example region (§3.4).
 func Toy() *ToyRegion { return fibermap.Toy() }
 
-// DefaultGenConfig returns the evaluation's fiber-map generator settings
-// for the given seed.
+// DefaultGen returns the evaluation's fiber-map generator settings; set
+// Seed on the returned struct.
+func DefaultGen() GenConfig { return fibermap.DefaultGen() }
+
+// DefaultGenConfig returns DefaultGen with the seed filled in.
+//
+// Deprecated: use DefaultGen and set Seed on the returned struct.
 func DefaultGenConfig(seed int64) GenConfig { return fibermap.DefaultGenConfig(seed) }
 
 // GenerateMap builds a synthetic metro fiber map of huts and ducts.
 func GenerateMap(cfg GenConfig) *Map { return fibermap.Generate(cfg) }
 
-// DefaultPlaceConfig returns the paper's DC-placement settings (120 km SLA).
+// DefaultPlace returns the paper's DC-placement settings (120 km SLA,
+// 8-DC regions); set Seed (and N) on the returned struct.
+func DefaultPlace() PlaceConfig { return fibermap.DefaultPlace() }
+
+// DefaultPlaceConfig returns DefaultPlace with the seed and DC count
+// filled in.
+//
+// Deprecated: use DefaultPlace and set Seed/N on the returned struct.
 func DefaultPlaceConfig(seed int64, n int) PlaceConfig {
 	return fibermap.DefaultPlaceConfig(seed, n)
 }
 
-// PlaceDCs adds n data centers to a map using the §6.1 procedure.
+// PlaceDCs adds cfg.N data centers to a map using the §6.1 procedure.
 func PlaceDCs(m *Map, cfg PlaceConfig) ([]int, error) { return fibermap.PlaceDCs(m, cfg) }
+
+// DefaultOptions returns the paper's operational planning defaults (duct-
+// cut tolerance 2, §3.3 prices); mutate the returned struct to deviate.
+func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Plan plans a region end to end: Algorithm 1 topology and capacity under
 // failures, residual fibers, Algorithm 2 amplifiers, cut-throughs, and the
@@ -100,3 +180,27 @@ func DefaultCatalog() Catalog { return cost.Default() }
 
 // NewMatrix returns a zero demand matrix over the given DC node IDs.
 func NewMatrix(dcs []int) *Matrix { return traffic.NewMatrix(dcs) }
+
+// NewDelta returns an empty sparse demand update.
+func NewDelta() Delta { return traffic.NewDelta() }
+
+// DiffMatrices returns the Delta that turns the old demand matrix into
+// the new one — the input Deployment.AllocateDelta re-solves
+// incrementally.
+func DiffMatrices(old, new *Matrix) Delta { return traffic.DiffMatrices(old, new) }
+
+// DefaultSurvivability returns the survivability experiment's default
+// configuration; set Seed or the failure-class toggles on the returned
+// struct.
+func DefaultSurvivability() SurvivabilityConfig { return experiments.DefaultSurvivability() }
+
+// Survivability plans a region and audits it against enumerated failure
+// scenarios (duct cuts, hut losses, amp failures, geo events), reporting
+// survival rates per class.
+func Survivability(cfg SurvivabilityConfig) (*SurvivabilityResult, error) {
+	return experiments.Survivability(cfg)
+}
+
+// NewDaemon validates the configuration and prepares an irisd control
+// loop; the first convergence happens on the first Run tick.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return daemon.New(cfg) }

@@ -11,8 +11,12 @@ import (
 // TestPublicAPIRoundTrip exercises the top-level surface the way a
 // downstream importer would.
 func TestPublicAPIRoundTrip(t *testing.T) {
-	m := iris.GenerateMap(iris.DefaultGenConfig(3))
-	dcs, err := iris.PlaceDCs(m, iris.DefaultPlaceConfig(3, 5))
+	gcfg := iris.DefaultGen()
+	gcfg.Seed = 3
+	m := iris.GenerateMap(gcfg)
+	pcfg := iris.DefaultPlace()
+	pcfg.Seed, pcfg.N = 3, 5
+	dcs, err := iris.PlaceDCs(m, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +47,59 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	moves := iris.Diff(alloc, alloc2)
 	if len(moves) != 1 || moves[0].FibersDelta != -1 {
 		t.Errorf("moves = %+v, want one single-fiber shrink", moves)
+	}
+}
+
+// TestIncrementalAPIRoundTrip exercises the incremental-allocation surface
+// (AllocateState, DiffMatrices, AllocateDelta, Undo) through the facade.
+func TestIncrementalAPIRoundTrip(t *testing.T) {
+	gcfg := iris.DefaultGen()
+	gcfg.Seed = 3
+	m := iris.GenerateMap(gcfg)
+	pcfg := iris.DefaultPlace()
+	pcfg.Seed, pcfg.N = 3, 5
+	dcs, err := iris.PlaceDCs(m, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make(map[int]int, len(dcs))
+	for _, dc := range dcs {
+		caps[dc] = 8
+	}
+	opts := iris.DefaultOptions()
+	opts.MaxFailures = 1
+	dep, err := iris.Plan(iris.Region{Map: m, Capacity: caps, Lambda: 40}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tm := iris.NewMatrix(dcs)
+	tm.Set(iris.Pair{A: dcs[0], B: dcs[1]}, 60)
+	var st *iris.AllocState
+	if st, err = dep.AllocateState(tm); err != nil {
+		t.Fatal(err)
+	}
+
+	next := iris.NewMatrix(dcs)
+	next.Set(iris.Pair{A: dcs[0], B: dcs[1]}, 10)
+	next.Set(iris.Pair{A: dcs[1], B: dcs[2]}, 35)
+	undo, stats, err := dep.AllocateDelta(st, iris.DiffMatrices(tm, next))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Incremental || stats.PairsResolved != 2 {
+		t.Fatalf("stats = %+v, want incremental 2-pair solve", stats)
+	}
+	want, err := dep.Allocate(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Allocation().Equal(want) {
+		t.Fatal("incremental allocation diverged from full solve")
+	}
+	undo.Rollback()
+	if back, err := dep.Allocate(tm); err != nil || !st.Allocation().Equal(back) {
+		t.Fatalf("rollback did not restore the previous allocation (err %v)", err)
 	}
 }
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# benchjson.sh converts `go test -bench` output on stdin into the JSON
+# document CI uploads as the per-commit bench artifact, so perf
+# regressions stay visible across PRs:
+#
+#   go test -run '^$' -bench . -benchtime 1x ./... \
+#     | scripts/benchjson.sh "$GITHUB_SHA" > "BENCH_${GITHUB_SHA}.json"
+set -eu
+
+sha="${1:-unknown}"
+
+awk -v sha="$sha" '
+BEGIN { printf "{\n  \"commit\": \"%s\",\n  \"results\": [", sha; n = 0 }
+$1 ~ /^Benchmark/ && $2 ~ /^[0-9]+$/ {
+  name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i + 1) == "ns/op")     ns = $i
+    if ($(i + 1) == "B/op")      bytes = $i
+    if ($(i + 1) == "allocs/op") allocs = $i
+  }
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+  if (ns != "")     printf ", \"ns_per_op\": %s", ns
+  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+'
