@@ -322,3 +322,39 @@ func BenchmarkFlowsimPipe(b *testing.B) {
 		b.ReportMetric(float64(len(res.Flows)), "flows")
 	}
 }
+
+// BenchmarkFlowsimLoad drives the bucketed load engine through a
+// user-scale event: a single fat pipe whose full 2.5s outage accumulates
+// a backlog of over a million concurrent flows, then drains it. The
+// peak-flows metric is the acceptance gate for "millions of flows
+// through a reconfiguring region"; flows is the total simulated.
+func BenchmarkFlowsimLoad(b *testing.B) {
+	dist := traffic.FBWeb()
+	// Size the pipe so the outage backlog passes 1.2M flows:
+	// lambda = util*capacity/mean, backlog ≈ lambda*outage.
+	const (
+		util          = 0.5
+		outageS       = 2.5
+		targetBacklog = 1.3e6
+	)
+	lambda := targetBacklog / outageS
+	capGbps := lambda * dist.Mean() * 8 / util / 1e9
+	cfg := flowsim.LoadConfig{
+		Seed: 1, DurationS: 8, Dist: dist,
+		Pipes:        []flowsim.Pipe{{CapacityGbps: capGbps, UtilFrac: util}},
+		Dips:         map[int][]flowsim.Dip{0: {{TimeS: 2, DurationS: outageS, FracLost: 1}}},
+		BucketCredit: dist.Max() / 4096,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := flowsim.RunLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.PeakConcurrent < 1_000_000 {
+			b.Fatalf("peak concurrency %d under 1M", st.PeakConcurrent)
+		}
+		b.ReportMetric(float64(st.PeakConcurrent), "peak-flows")
+		b.ReportMetric(float64(st.Flows), "flows")
+	}
+}

@@ -35,7 +35,7 @@ func fatal(msg string, err error) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss, chaos)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss, load, chaos)")
 		full     = flag.Bool("full", false, "run the Fig. 12 sweep at full paper scale (240 scenarios)")
 		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial; rows are identical at every setting")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -196,6 +196,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatWSS(rows), nil
+	})
+	run("load", func() (string, error) {
+		rows, err := experiments.LoadSweep(experiments.DefaultLoadSweep())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatLoadSweep(rows), nil
 	})
 	run("chaos", func() (string, error) {
 		cfg := experiments.DefaultSurvivability()

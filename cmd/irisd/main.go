@@ -14,7 +14,17 @@
 //	irisd [-toy] [-seed N] [-dcs N] [-oss-delay 20ms]
 //	      [-listen 127.0.0.1:9090] [-interval 2s] [-probe-interval 1s]
 //	      [-steps N] [-shift-bound 0.4] [-util 0.7]
+//	      [-flow-load] [-flow-dist web2] [-flow-util 0.6] [-flow-window 4s]
+//	      [-flow-gbps-per-wl 0.25] [-diurnal-amp 0.3] [-diurnal-period 5m]
+//	      [-flash-every 60s] [-flash-dur 5s] [-flash-mult 3]
 //	      [-log-level info] [-log-json] [-trace-events 4096] [-pprof] [-chaos]
+//
+// With -flow-load, every drained reconfiguration (and chaos/repair
+// cycle) is replayed through the flow-level load engine: the daemon
+// reports p50/p99/p999 flow slowdown and bytes stranded during the drain
+// as iris_flowsim_* metrics and the flow_impact field of /status. The
+// -diurnal-* and -flash-* flags shape both the demand matrices and the
+// simulated flow arrivals.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: an in-flight
 // reconfiguration finishes its drained sequence, the HTTP server closes,
@@ -38,6 +48,7 @@ import (
 	"iris/internal/control"
 	"iris/internal/daemon"
 	"iris/internal/fabric"
+	"iris/internal/flowsim"
 	"iris/internal/logging"
 	"iris/internal/optics"
 	"iris/internal/telemetry"
@@ -65,6 +76,18 @@ func main() {
 		traceEvents   = flag.Int("trace-events", 4096, "flight-recorder capacity in events (0 disables tracing)")
 		pprofEnabled  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 		chaosEnabled  = flag.Bool("chaos", false, "wrap devices in fault shims and serve the injector on /debug/chaos")
+
+		flowLoad   = flag.Bool("flow-load", false, "simulate the flow-level cost of every reconfiguration (iris_flowsim_* metrics, /status flow_impact)")
+		flowDist   = flag.String("flow-dist", "web2", "flow-size workload for -flow-load: web1, web2, hadoop or cache")
+		flowUtil   = flag.Float64("flow-util", 0.6, "offered load per pipe for -flow-load, fraction of allocated capacity")
+		flowWindow = flag.Duration("flow-window", 4*time.Second, "simulated window around each reconfiguration for -flow-load")
+		flowGbps   = flag.Float64("flow-gbps-per-wl", 0.25, "simulated Gbps per wavelength for -flow-load (slowdown is scale-free)")
+
+		diurnalAmp    = flag.Float64("diurnal-amp", 0, "diurnal swing amplitude in [0,1) applied to traffic and -flow-load arrivals (0 disables)")
+		diurnalPeriod = flag.Duration("diurnal-period", 5*time.Minute, "diurnal period for -diurnal-amp")
+		flashEvery    = flag.Duration("flash-every", 0, "mean interval between flash-crowd onsets (0 disables)")
+		flashDur      = flag.Duration("flash-dur", 5*time.Second, "flash-crowd duration for -flash-every")
+		flashMult     = flag.Float64("flash-mult", 3, "flash-crowd demand multiplier for -flash-every")
 	)
 	flag.Parse()
 
@@ -115,6 +138,28 @@ func main() {
 	base := traffic.HeavyTailed(rng, m.DCs(), caps, *util)
 	var feed traffic.Source = traffic.NewEvolver(*seed+1, base,
 		traffic.ChangeProcess{Bound: *shiftBound, Caps: caps, Util: *util})
+
+	// User-scale demand modulation: diurnal swing plus flash crowds,
+	// layered on the change process and (below) on the flow monitor's
+	// arrivals. A day of shape is drawn up front; the deterministic
+	// windows repeat nothing and survive restarts with the same seed.
+	profile := traffic.LoadProfile{
+		DiurnalAmp: *diurnalAmp, DiurnalPeriodS: diurnalPeriod.Seconds(),
+		FlashDurationS: flashDur.Seconds(), FlashMult: *flashMult,
+	}
+	if *flashEvery > 0 {
+		profile.FlashEveryS = flashEvery.Seconds()
+	}
+	var shape *traffic.Shape
+	if !profile.Flat() {
+		shape, err = traffic.NewShape(*seed+2, profile, (24 * time.Hour).Seconds())
+		if err != nil {
+			fatal("bad load shape", err)
+		}
+		log.Info("load shape armed",
+			"diurnal_amp", *diurnalAmp, "flash_windows", shape.Flashes())
+		feed = traffic.Shaped(feed, shape, interval.Seconds(), caps)
+	}
 	if *steps > 0 {
 		feed = traffic.Limit(feed, *steps)
 	}
@@ -137,6 +182,28 @@ func main() {
 		log.Info("chaos injector armed", "endpoint", "/debug/chaos")
 	}
 
+	// The flow monitor shares the registry too, so iris_flowsim_* rides
+	// the same scrape, and the arrival shape, so the simulated users see
+	// the same diurnal/flash swings the demand matrices do.
+	var mon *flowsim.Monitor
+	if *flowLoad {
+		dist, ok := traffic.WorkloadByName(*flowDist)
+		if !ok {
+			fatal("unknown -flow-dist", fmt.Errorf("%q (want web1, web2, hadoop or cache)", *flowDist))
+		}
+		mon, err = flowsim.NewMonitor(flowsim.MonitorConfig{
+			Seed: *seed + 3, Dist: dist, Util: *flowUtil,
+			GbpsPerWavelength: *flowGbps,
+			WindowS:           flowWindow.Seconds(),
+			Shape:             shape,
+			Registry:          reg,
+		})
+		if err != nil {
+			fatal("flow monitor init failed", err)
+		}
+		log.Info("flow-load monitor armed", "dist", *flowDist, "util", *flowUtil)
+	}
+
 	d, err := daemon.New(daemon.Config{
 		Fab:           rig.Fab,
 		Controller:    rig.Testbed.Controller,
@@ -149,6 +216,7 @@ func main() {
 		Logger:        log,
 		Tracer:        tracer,
 		Chaos:         inj,
+		FlowMonitor:   mon,
 	})
 	if err != nil {
 		fatal("daemon init failed", err)

@@ -37,6 +37,7 @@ import (
 	"iris/internal/control"
 	"iris/internal/core"
 	"iris/internal/fabric"
+	"iris/internal/flowsim"
 	"iris/internal/telemetry"
 	"iris/internal/trace"
 	"iris/internal/traffic"
@@ -88,6 +89,12 @@ type Config struct {
 	// surface (/debug/chaos) and injection state on /status. The injector
 	// must wrap the same fabric's devices the daemon supervises.
 	Chaos *chaos.Injector
+	// FlowMonitor, when set, simulates the flow-level cost of every
+	// drained reconfiguration and repair cycle against the committed
+	// allocation, publishing iris_flowsim_* metrics and /status's
+	// flow_impact. Register it on the same Registry as the daemon's
+	// metrics so one scrape carries both.
+	FlowMonitor *flowsim.Monitor
 }
 
 // Daemon is the regional control loop. Construct with New, drive with Run
@@ -483,6 +490,23 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	d.mu.Unlock()
 	d.m.circuits.Set(float64(clone.CircuitCount()))
 	log.Info("converged", "ops", ops, "total", rep.Total.Round(time.Microsecond))
+	if d.cfg.FlowMonitor != nil && haveLKG {
+		// Replay the committed change as capacity dips and measure the
+		// flow slowdown it cost. The simulation journals under the same
+		// reconfig trace, so /debug/events?reconfig=<id> shows the drain
+		// and its flow impact side by side.
+		fsp := root.Child("flowsim-impact")
+		imp, ferr := d.cfg.FlowMonitor.ObserveReconfig(
+			id, alloc, dep.Region.Lambda, core.Diff(lkg, alloc), rep.Total.Seconds())
+		if ferr != nil {
+			fsp.Fail(ferr)
+			log.Warn("flow-impact simulation failed", "err", ferr)
+		} else {
+			fsp.SetAttr(fmt.Sprintf("pipes=%d flows=%d p99=%.4f stranded_bytes=%.0f",
+				imp.Pipes, imp.Flows, imp.P99, imp.BytesStranded))
+		}
+		fsp.Finish()
+	}
 	err = d.runAudit(ctx, id)
 	root.Fail(err)
 	root.Finish()
@@ -528,12 +552,36 @@ func (d *Daemon) repairIn(ctx context.Context, id uint64, fab *fabric.Fabric) er
 	}
 	if !fabric.EmptyChange(ch) {
 		d.m.reconciles.Inc()
-		if _, err := d.ctl.Reconfigure(ctx, ch); err != nil {
+		rep, err := d.ctl.Reconfigure(ctx, ch)
+		if err != nil {
 			d.m.reconcileFailures.Inc()
 			d.penalizeIn(id, err)
 			return fmt.Errorf("repair reconfigure: %w", err)
 		}
 		d.log.Info("repair: reconciled devices to last-known-good intent", "reconfig_id", id)
+		d.mu.Lock()
+		lkg, haveLKG := d.lkg, d.haveLKG
+		d.mu.Unlock()
+		if d.cfg.FlowMonitor != nil && haveLKG {
+			// A reconcile has no per-pair moves; model it as a uniform dip
+			// sized by the fraction of circuit endpoints the change drained
+			// — the whole-region view of a chaos/repair cycle.
+			frac := 0.0
+			if n := fab.CircuitCount(); n > 0 {
+				frac = float64(len(ch.Drain)) / float64(2*n)
+			}
+			fsp := root.Child("flowsim-impact")
+			imp, ferr := d.cfg.FlowMonitor.ObserveRepair(
+				id, lkg, fab.Deployment().Region.Lambda, frac, rep.Total.Seconds())
+			if ferr != nil {
+				fsp.Fail(ferr)
+				d.log.Warn("flow-impact simulation failed", "reconfig_id", id, "err", ferr)
+			} else {
+				fsp.SetAttr(fmt.Sprintf("pipes=%d flows=%d p99=%.4f stranded_bytes=%.0f",
+					imp.Pipes, imp.Flows, imp.P99, imp.BytesStranded))
+			}
+			fsp.Finish()
+		}
 	}
 	if err := d.runAudit(ctx, id); err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"iris/internal/chaos"
+	"iris/internal/flowsim"
 	"iris/internal/hose"
 	"iris/internal/trace"
 )
@@ -39,6 +40,11 @@ type Status struct {
 	// Chaos is the fault injector's snapshot (absent when no injector is
 	// configured).
 	Chaos *chaos.Status `json:"chaos,omitempty"`
+
+	// FlowImpact is the simulated flow-level cost of the last
+	// reconfiguration or repair (absent until the flow monitor has
+	// observed one).
+	FlowImpact *flowsim.Impact `json:"flow_impact,omitempty"`
 }
 
 // PairAllocation is one DC pair's current circuit assignment.
@@ -144,6 +150,9 @@ func (d *Daemon) Status() Status {
 	if d.cfg.Chaos != nil {
 		snap := d.cfg.Chaos.Snapshot()
 		st.Chaos = &snap
+	}
+	if d.cfg.FlowMonitor != nil {
+		st.FlowImpact = d.cfg.FlowMonitor.Last()
 	}
 	return st
 }

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iris/internal/flowsim"
+	"iris/internal/traffic"
+)
+
+// The load sweep is the user-scale companion to Fig. 17: instead of a
+// handful of exactly simulated pipes, the bucketed load engine pushes
+// hundreds of thousands of flows through a region while reconfigurations
+// dim the pipes at a swept rate, with diurnal and flash-crowd arrival
+// shaping layered on. Each row reports how the slowdown tail grows as
+// reconfigurations come faster.
+
+// LoadSweepConfig drives LoadSweep.
+type LoadSweepConfig struct {
+	Seed int64
+	Dist traffic.SizeDist
+	// Pipes and CapacityGbps shape the synthetic region; Util is the
+	// offered load per pipe.
+	Pipes        int
+	CapacityGbps float64
+	Util         float64
+	// IntervalsS are the reconfiguration intervals swept (seconds between
+	// drains; every pipe dips FracLost for ReconfigS at each).
+	IntervalsS []float64
+	ReconfigS  float64
+	FracLost   float64
+	DurationS  float64
+	// Profile modulates arrivals; the zero profile is flat.
+	Profile traffic.LoadProfile
+}
+
+// LoadSweepRow is one reconfiguration rate's outcome.
+type LoadSweepRow struct {
+	IntervalS      float64
+	Reconfigs      int
+	Flows          uint64
+	P50            float64
+	P99            float64
+	P999           float64
+	PeakConcurrent uint64
+	BytesStranded  float64
+}
+
+// DefaultLoadSweep returns the §6.3 operating point scaled up: a
+// 12-pipe region under diurnal + flash-crowd load, drains from every 2s
+// down to every 250ms.
+func DefaultLoadSweep() LoadSweepConfig {
+	return LoadSweepConfig{
+		Seed: 1, Dist: traffic.FBWeb(),
+		Pipes: 12, CapacityGbps: 0.5, Util: 0.7,
+		IntervalsS: []float64{2, 1, 0.5, 0.25},
+		ReconfigS:  0.070, FracLost: 0.5, DurationS: 30,
+		Profile: traffic.LoadProfile{
+			DiurnalAmp: 0.3, DiurnalPeriodS: 20,
+			FlashEveryS: 10, FlashDurationS: 2, FlashMult: 2,
+		},
+	}
+}
+
+// LoadSweep runs the dipped and clean load simulations at each
+// reconfiguration interval and reports the slowdown quantiles.
+func LoadSweep(cfg LoadSweepConfig) ([]LoadSweepRow, error) {
+	if cfg.Pipes <= 0 || cfg.DurationS <= 0 || len(cfg.IntervalsS) == 0 {
+		return nil, fmt.Errorf("experiments: invalid load sweep %+v", cfg)
+	}
+	shape, err := traffic.NewShape(cfg.Seed, cfg.Profile, cfg.DurationS)
+	if err != nil {
+		return nil, err
+	}
+	pipes := make([]flowsim.Pipe, cfg.Pipes)
+	for i := range pipes {
+		pipes[i] = flowsim.Pipe{CapacityGbps: cfg.CapacityGbps, UtilFrac: cfg.Util}
+	}
+	base := flowsim.LoadConfig{
+		Seed: cfg.Seed, DurationS: cfg.DurationS, WarmupS: cfg.DurationS / 10,
+		Dist: cfg.Dist, Pipes: pipes, Shape: shape,
+	}
+	clean, err := flowsim.RunLoad(base)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LoadSweepRow
+	for _, interval := range cfg.IntervalsS {
+		if interval <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive reconfig interval %v", interval)
+		}
+		dips := make(map[int][]flowsim.Dip)
+		n := 0
+		for t := interval; t < cfg.DurationS; t += interval {
+			for i := range pipes {
+				dips[i] = append(dips[i], flowsim.Dip{
+					TimeS: t, DurationS: cfg.ReconfigS, FracLost: cfg.FracLost,
+				})
+			}
+			n++
+		}
+		dipped := base
+		dipped.Dips = dips
+		st, err := flowsim.RunLoad(dipped)
+		if err != nil {
+			return nil, fmt.Errorf("interval %vs: %w", interval, err)
+		}
+		rows = append(rows, LoadSweepRow{
+			IntervalS: interval, Reconfigs: n,
+			Flows:          st.Flows,
+			P50:            ratioAt(st, clean, 0.50),
+			P99:            ratioAt(st, clean, 0.99),
+			P999:           ratioAt(st, clean, 0.999),
+			PeakConcurrent: st.PeakConcurrent,
+			BytesStranded:  st.BytesStranded,
+		})
+	}
+	return rows, nil
+}
+
+func ratioAt(dipped, clean flowsim.LoadStats, q float64) float64 {
+	c := clean.FCT.Quantile(q)
+	if c <= 0 {
+		return 1
+	}
+	return dipped.FCT.Quantile(q) / c
+}
+
+// FormatLoadSweep renders the slowdown-vs-reconfiguration-rate table.
+func FormatLoadSweep(rows []LoadSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load sweep — FCT slowdown vs reconfiguration rate (bucketed engine)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %-8s %-8s %-8s %-10s %s\n",
+		"interval", "reconfigs", "flows", "p50", "p99", "p999", "peak", "strandedMB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-10d %-10d %-8.3f %-8.3f %-8.3f %-10d %.1f\n",
+			fmt.Sprintf("%.3gs", r.IntervalS), r.Reconfigs, r.Flows,
+			r.P50, r.P99, r.P999, r.PeakConcurrent, r.BytesStranded/1e6)
+	}
+	return b.String()
+}

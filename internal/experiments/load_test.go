@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSweep(t *testing.T) {
+	cfg := DefaultLoadSweep()
+	cfg.Pipes = 4
+	cfg.DurationS = 10
+	cfg.IntervalsS = []float64{2, 0.5}
+	rows, err := LoadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Flows == 0 || r.Reconfigs == 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if r.P99 < 1 {
+			t.Errorf("interval %vs: dips made flows faster (p99 %v)", r.IntervalS, r.P99)
+		}
+		if r.BytesStranded <= 0 {
+			t.Errorf("interval %vs: no bytes stranded", r.IntervalS)
+		}
+	}
+	// Faster reconfigurations must strand at least as many bytes.
+	if rows[1].BytesStranded < rows[0].BytesStranded {
+		t.Errorf("4x the drains stranded fewer bytes: %v vs %v",
+			rows[1].BytesStranded, rows[0].BytesStranded)
+	}
+	out := FormatLoadSweep(rows)
+	if !strings.Contains(out, "p999") || !strings.Contains(out, "0.5s") {
+		t.Errorf("format output missing columns:\n%s", out)
+	}
+}
+
+func TestLoadSweepValidation(t *testing.T) {
+	if _, err := LoadSweep(LoadSweepConfig{}); err == nil {
+		t.Error("expected error for zero config")
+	}
+	cfg := DefaultLoadSweep()
+	cfg.IntervalsS = []float64{0}
+	cfg.DurationS = 5
+	if _, err := LoadSweep(cfg); err == nil {
+		t.Error("expected error for zero interval")
+	}
+}

@@ -130,10 +130,74 @@ func (h flowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *flowHeap) Push(x any)        { *h = append(*h, x.(activeFlow)) }
 func (h *flowHeap) Pop() any          { o := *h; n := len(o); x := o[n-1]; *h = o[:n-1]; return x }
 
-// capChange is a point where the pipe's capacity multiplier changes.
+// capChange is a point where the pipe's capacity multiplier changes. A
+// dip contributes two events: its start applies the dip's multiplier
+// (1-frac) and its end removes that same multiplier from the active set.
+// Carrying the multiplier on both events keeps restores correct for
+// overlapping non-nested dips, where a LIFO stack would pop the wrong
+// dip's multiplier.
 type capChange struct {
-	timeS float64
-	mult  float64 // multiplier to apply (dip start: 1-frac; dip end: restore)
+	timeS   float64
+	mult    float64 // this dip's multiplier, 1-frac (0 for a full outage)
+	restore bool
+}
+
+// capTimeline replays a pipe's piecewise-constant capacity multiplier:
+// the product of the multipliers of all dips covering the current time.
+// Both the exact per-pipe simulator and the bucketed load engine drive
+// their event loops with it.
+type capTimeline struct {
+	changes []capChange
+	idx     int
+	active  []float64 // multipliers of the dips covering the current time
+	mult    float64
+}
+
+// newCapTimeline builds the sorted event schedule for a dip set. Dips
+// with non-positive duration or loss are ignored; FracLost is clamped
+// to 1.
+func newCapTimeline(dips []Dip) *capTimeline {
+	ct := &capTimeline{mult: 1}
+	for _, d := range dips {
+		if d.FracLost <= 0 || d.DurationS <= 0 {
+			continue
+		}
+		frac := math.Min(d.FracLost, 1)
+		ct.changes = append(ct.changes, capChange{timeS: d.TimeS, mult: 1 - frac})
+		ct.changes = append(ct.changes, capChange{timeS: d.TimeS + d.DurationS, mult: 1 - frac, restore: true})
+	}
+	sort.SliceStable(ct.changes, func(i, j int) bool { return ct.changes[i].timeS < ct.changes[j].timeS })
+	return ct
+}
+
+// next returns the time of the next multiplier change, or +Inf when the
+// schedule is exhausted.
+func (ct *capTimeline) next() float64 {
+	if ct.idx >= len(ct.changes) {
+		return math.Inf(1)
+	}
+	return ct.changes[ct.idx].timeS
+}
+
+// apply consumes the pending change and recomputes the multiplier from
+// the active set. Recomputing (rather than dividing the old multiplier
+// out) keeps full outages (mult 0) exact and accumulates no float drift,
+// so no >1 clamp is needed.
+func (ct *capTimeline) apply() {
+	c := ct.changes[ct.idx]
+	ct.idx++
+	if c.restore {
+		for i, m := range ct.active {
+			if m == c.mult {
+				ct.active[i] = ct.active[len(ct.active)-1]
+				ct.active = ct.active[:len(ct.active)-1]
+				break
+			}
+		}
+	} else {
+		ct.active = append(ct.active, c.mult)
+	}
+	ct.mult = recomputeMult(ct.active)
 }
 
 // simulatePipe runs exact processor sharing with a piecewise-constant
@@ -146,24 +210,11 @@ func simulatePipe(rng *rand.Rand, pipeIdx int, p Pipe, dips []Dip, dist traffic.
 	capBytesPerS := p.CapacityGbps * 1e9 / 8
 	lambda := p.UtilFrac * capBytesPerS / meanBytes // flows per second
 
-	// Build the capacity schedule. Overlapping dips stack multiplicatively
-	// and are clipped at zero.
-	var changes []capChange
-	for _, d := range dips {
-		if d.FracLost <= 0 || d.DurationS <= 0 {
-			continue
-		}
-		frac := math.Min(d.FracLost, 1)
-		changes = append(changes, capChange{d.TimeS, 1 - frac})
-		changes = append(changes, capChange{d.TimeS + d.DurationS, -1}) // -1 marks a restore
-	}
-	sort.SliceStable(changes, func(i, j int) bool { return changes[i].timeS < changes[j].timeS })
+	timeline := newCapTimeline(dips)
 
 	var flows []Flow
 	active := &flowHeap{}
 	credit := 0.0
-	capMult := 1.0
-	var dipStack []float64 // active dip multipliers, for restores
 
 	t := 0.0
 	nextArrival := t
@@ -172,9 +223,8 @@ func simulatePipe(rng *rand.Rand, pipeIdx int, p Pipe, dips []Dip, dist traffic.
 	} else {
 		nextArrival = math.Inf(1)
 	}
-	changeIdx := 0
 
-	currentCap := func() float64 { return capBytesPerS * capMult }
+	currentCap := func() float64 { return capBytesPerS * timeline.mult }
 
 	for t < durationS {
 		// Next departure under the current rate.
@@ -183,10 +233,7 @@ func simulatePipe(rng *rand.Rand, pipeIdx int, p Pipe, dips []Dip, dist traffic.
 			perFlow := currentCap() / float64(active.Len())
 			nextDeparture = t + ((*active)[0].doneAtCredit-credit)/perFlow
 		}
-		nextChange := math.Inf(1)
-		if changeIdx < len(changes) {
-			nextChange = changes[changeIdx].timeS
-		}
+		nextChange := timeline.next()
 		next := math.Min(math.Min(nextArrival, nextChange), math.Min(nextDeparture, durationS))
 
 		// Advance credit over [t, next].
@@ -214,23 +261,7 @@ func simulatePipe(rng *rand.Rand, pipeIdx int, p Pipe, dips []Dip, dist traffic.
 			})
 			nextArrival = t + rng.ExpFloat64()/lambda
 		case t == nextChange:
-			c := changes[changeIdx]
-			changeIdx++
-			if c.mult >= 0 {
-				capMult *= c.mult
-				dipStack = append(dipStack, c.mult)
-			} else if len(dipStack) > 0 {
-				m := dipStack[len(dipStack)-1]
-				dipStack = dipStack[:len(dipStack)-1]
-				if m > 0 {
-					capMult /= m
-				} else {
-					capMult = recomputeMult(dipStack)
-				}
-			}
-			if capMult > 1 { // guard against float drift
-				capMult = 1
-			}
+			timeline.apply()
 		}
 	}
 	return flows, active.Len()

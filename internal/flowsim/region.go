@@ -2,6 +2,7 @@ package flowsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"iris/internal/core"
@@ -151,8 +152,12 @@ func (e RegionExperiment) Run() (SlowdownReport, error) {
 	}, nil
 }
 
+// integerize snaps every pair demand to whole wavelengths. Rounding (not
+// truncating) matters: float noise like 3.9999997 must stay 4, or a
+// constant matrix would fabricate a one-wavelength demand change — and a
+// phantom reconfiguration — per pair per step.
 func integerize(m *traffic.Matrix) {
 	for _, p := range m.Pairs() {
-		m.Set(p, float64(int(m.Get(p))))
+		m.Set(p, math.Round(m.Get(p)))
 	}
 }

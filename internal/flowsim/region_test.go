@@ -54,6 +54,33 @@ func TestRegionExperimentOnToy(t *testing.T) {
 	}
 }
 
+// TestIntegerizeRoundsNoise: integerize must round, not truncate. With
+// truncation, float noise like 3.9999997 became 3 — a whole wavelength of
+// phantom demand change per pair per step that could fabricate
+// reconfigurations. Two noisy copies of the same integer matrix must
+// integerize to zero diffs.
+func TestIntegerizeRoundsNoise(t *testing.T) {
+	dcs := []int{1, 2, 3}
+	base := traffic.NewMatrix(dcs)
+	noisy := traffic.NewMatrix(dcs)
+	offsets := []float64{-3e-7, 2e-7, -1e-7}
+	for i, p := range base.Pairs() {
+		exact := float64(3 + i)
+		base.Set(p, exact)
+		noisy.Set(p, exact+offsets[i%len(offsets)])
+	}
+	integerize(base)
+	integerize(noisy)
+	for _, p := range base.Pairs() {
+		if got, want := noisy.Get(p), base.Get(p); got != want {
+			t.Errorf("pair %v: noisy integerized to %v, exact to %v", p, got, want)
+		}
+	}
+	if d := traffic.DiffMatrices(base, noisy); !d.Empty() {
+		t.Errorf("noisy-but-constant matrix produced %d diffs: %v", d.Len(), d.Changes)
+	}
+}
+
 func TestRegionExperimentOnPlannedRegion(t *testing.T) {
 	gcfg := fibermap.DefaultGen()
 	gcfg.Seed = 8

@@ -12,7 +12,11 @@ import (
 // matrix to the caller.
 type Source interface {
 	// Next returns the next demand matrix, or ok=false when the feed is
-	// exhausted (a finite replay reached its end).
+	// exhausted (a finite replay reached its end). Exhaustion is a stable
+	// state: once Next has returned ok=false it must keep returning
+	// ok=false on every later call, with no side effects — callers such
+	// as the daemon's coalescing Step loop probe an exhausted source
+	// repeatedly and rely on the repeat calls being idempotent.
 	Next() (m *Matrix, ok bool)
 }
 
@@ -97,15 +101,22 @@ func Traced(s Source, t *trace.Tracer) Source {
 }
 
 type traced struct {
-	s    Source
-	t    *trace.Tracer
-	step int
+	s         Source
+	t         *trace.Tracer
+	step      int
+	exhausted bool
 }
 
 func (tr *traced) Next() (*Matrix, bool) {
 	m, ok := tr.s.Next()
 	if !ok {
-		tr.t.Emit(0, "feed-exhausted", "", fmt.Sprintf("step=%d", tr.step))
+		// A polling loop keeps calling Next after exhaustion (the Source
+		// contract makes that idempotent); journal the transition once
+		// instead of flooding the flight-recorder ring with repeats.
+		if !tr.exhausted {
+			tr.exhausted = true
+			tr.t.Emit(0, "feed-exhausted", "", fmt.Sprintf("step=%d", tr.step))
+		}
 		return nil, false
 	}
 	tr.step++

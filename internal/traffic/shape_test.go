@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"iris/internal/hose"
+)
+
+func TestShapeValidation(t *testing.T) {
+	bad := []LoadProfile{
+		{DiurnalAmp: 1.0, DiurnalPeriodS: 60},
+		{DiurnalAmp: -0.1, DiurnalPeriodS: 60},
+		{DiurnalAmp: 0.5}, // amp without period
+		{FlashEveryS: -1},
+		{FlashEveryS: 10, FlashDurationS: -1},
+		{FlashEveryS: 10, FlashDurationS: 1, FlashMult: 0.5},
+	}
+	for i, p := range bad {
+		if _, err := NewShape(1, p, 100); err == nil {
+			t.Errorf("profile %d (%+v): expected validation error", i, p)
+		}
+	}
+	if _, err := NewShape(1, LoadProfile{}, 100); err != nil {
+		t.Errorf("flat profile rejected: %v", err)
+	}
+}
+
+func TestShapeFlatProfileIsIdentity(t *testing.T) {
+	s, err := NewShape(3, LoadProfile{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 1, 17.5, 999} {
+		if got := s.Mult(tt); got != 1 {
+			t.Errorf("Mult(%v) = %v, want 1", tt, got)
+		}
+	}
+	if s.MaxMult() != 1 {
+		t.Errorf("MaxMult = %v, want 1", s.MaxMult())
+	}
+}
+
+func TestShapeDiurnalSwing(t *testing.T) {
+	p := LoadProfile{DiurnalAmp: 0.4, DiurnalPeriodS: 100}
+	s, err := NewShape(3, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak at quarter period, trough at three quarters.
+	if got := s.Mult(25); math.Abs(got-1.4) > 1e-9 {
+		t.Errorf("peak Mult = %v, want 1.4", got)
+	}
+	if got := s.Mult(75); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("trough Mult = %v, want 0.6", got)
+	}
+	if got := s.Mult(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("zero-crossing Mult = %v, want 1", got)
+	}
+	// Phase shifts the whole curve.
+	ps, _ := NewShape(3, LoadProfile{DiurnalAmp: 0.4, DiurnalPeriodS: 100, DiurnalPhaseS: 25}, 1000)
+	if got := ps.Mult(0); math.Abs(got-1.4) > 1e-9 {
+		t.Errorf("phase-shifted Mult(0) = %v, want 1.4", got)
+	}
+	for _, tt := range []float64{0, 10, 42, 317} {
+		if s.Mult(tt) > s.MaxMult()+1e-12 {
+			t.Errorf("Mult(%v)=%v exceeds MaxMult %v", tt, s.Mult(tt), s.MaxMult())
+		}
+	}
+}
+
+func TestShapeFlashCrowdsDeterministicAndBounded(t *testing.T) {
+	p := LoadProfile{FlashEveryS: 30, FlashDurationS: 5, FlashMult: 3}
+	a, err := NewShape(11, p, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewShape(11, p, 600)
+	if a.Flashes() == 0 {
+		t.Fatal("no flash windows drawn over 20 mean intervals")
+	}
+	if a.Flashes() != b.Flashes() {
+		t.Fatalf("same seed drew %d vs %d windows", a.Flashes(), b.Flashes())
+	}
+	// Mult is either the base 1 or exactly FlashMult, never compounded.
+	inFlash := 0
+	for tt := 0.0; tt < 600; tt += 0.25 {
+		m := a.Mult(tt)
+		if m != a.Mult(tt) {
+			t.Fatal("Mult is not deterministic")
+		}
+		switch {
+		case m == 1:
+		case m == 3:
+			inFlash++
+		default:
+			t.Fatalf("Mult(%v) = %v, want 1 or 3 (windows must not stack)", tt, m)
+		}
+		if m > a.MaxMult() {
+			t.Fatalf("Mult(%v)=%v exceeds MaxMult %v", tt, m, a.MaxMult())
+		}
+	}
+	if inFlash == 0 {
+		t.Error("sampling never landed inside a flash window")
+	}
+	if got, want := a.MaxMult(), 3.0; got != want {
+		t.Errorf("MaxMult = %v, want %v", got, want)
+	}
+}
+
+func TestShapedFeedScalesAndClamps(t *testing.T) {
+	dcs := []int{1, 2}
+	pair := hose.Pair{A: 1, B: 2}
+	mk := func(v float64) *Matrix {
+		m := NewMatrix(dcs)
+		m.Set(pair, v)
+		return m
+	}
+	sh, err := NewShape(5, LoadProfile{DiurnalAmp: 0.5, DiurnalPeriodS: 40}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 10s = quarter period: Mult(0)=1, Mult(10)=1.5, Mult(20)=1.
+	f := Shaped(NewReplay(mk(8), mk(8), mk(8)), sh, 10, nil)
+	want := []float64{8, 12, 8}
+	for i, w := range want {
+		m, ok := f.Next()
+		if !ok {
+			t.Fatalf("step %d exhausted early", i)
+		}
+		if got := m.Get(pair); math.Abs(got-w) > 1e-9 {
+			t.Errorf("step %d demand = %v, want %v", i, got, w)
+		}
+	}
+	if _, ok := f.Next(); ok {
+		t.Error("shaped feed outlived its replay")
+	}
+	if _, ok := f.Next(); ok {
+		t.Error("shaped feed exhaustion is not idempotent")
+	}
+
+	// With hose caps, the flash peak clamps instead of overflowing.
+	caps := map[int]float64{1: 10, 2: 10}
+	f = Shaped(NewReplay(mk(8), mk(8)), sh, 10, caps)
+	m, _ := f.Next()
+	if got := m.Get(pair); math.Abs(got-8) > 1e-9 {
+		t.Errorf("unshaped step clamped: %v", got)
+	}
+	m, _ = f.Next()
+	if got := m.Get(pair); got > 10+1e-9 {
+		t.Errorf("clamped step exceeds hose: %v", got)
+	}
+	if got := m.Get(pair); got <= 8 {
+		t.Errorf("clamp erased the swing entirely: %v", got)
+	}
+
+	// A nil shape is a pass-through.
+	r := NewReplay(mk(4))
+	if Shaped(r, nil, 1, nil) != r {
+		t.Error("nil shape should return the source unchanged")
+	}
+}

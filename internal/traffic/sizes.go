@@ -64,6 +64,12 @@ func (d SizeDist) Sample(rng *rand.Rand) float64 {
 	return math.Exp(logSize)
 }
 
+// Max returns the largest flow size the distribution can produce — the
+// last breakpoint of the table. Callers sizing bounded structures (the
+// flowsim load engine's credit calendar) rely on samples never
+// exceeding it.
+func (d SizeDist) Max() float64 { return d.bytes[len(d.bytes)-1] }
+
 // Mean returns the distribution mean in bytes, computed by numerical
 // integration of the interpolated CDF (adequate for arrival-rate sizing).
 func (d SizeDist) Mean() float64 {
@@ -134,6 +140,16 @@ func FBCache() SizeDist {
 // Workloads returns the four evaluation workloads in Fig. 18 order.
 func Workloads() []SizeDist {
 	return []SizeDist{WebSearch(), FBWeb(), FBHadoop(), FBCache()}
+}
+
+// WorkloadByName resolves a workload by its Name (command-line flags).
+func WorkloadByName(name string) (SizeDist, bool) {
+	for _, d := range Workloads() {
+		if d.Name() == name {
+			return d, true
+		}
+	}
+	return SizeDist{}, false
 }
 
 // ShortFlowBytes is the threshold below which the paper calls a flow

@@ -46,6 +46,7 @@ import (
 	"iris/internal/daemon"
 	"iris/internal/experiments"
 	"iris/internal/fibermap"
+	"iris/internal/flowsim"
 	"iris/internal/hose"
 	"iris/internal/traffic"
 )
@@ -122,6 +123,41 @@ type (
 	SurvivabilityConfig = experiments.SurvivabilityConfig
 	// SurvivabilityResult aggregates audit outcomes per failure class.
 	SurvivabilityResult = experiments.SurvivabilityResult
+)
+
+// User-scale flow load engine types (internal/flowsim,
+// internal/traffic). RunLoad simulates millions of concurrent flows
+// through reconfiguring pipes; a Monitor attaches the same engine to a
+// running daemon so every drained reconfiguration reports its flow
+// impact.
+type (
+	// FlowPipe is one simulated DC-pair pipe (capacity and offered load).
+	FlowPipe = flowsim.Pipe
+	// FlowDip is one capacity reduction (a drained reconfiguration).
+	FlowDip = flowsim.Dip
+	// LoadConfig parameterises the bucketed user-scale load engine.
+	LoadConfig = flowsim.LoadConfig
+	// LoadStats aggregates a load run: flow counts, stranded bytes, peak
+	// concurrency, and FCT quantile sketches.
+	LoadStats = flowsim.LoadStats
+	// Sketch is the mergeable log-bucketed FCT quantile sketch.
+	Sketch = flowsim.Sketch
+	// FlowMonitorConfig parameterises the live flow-impact monitor.
+	FlowMonitorConfig = flowsim.MonitorConfig
+	// FlowMonitor replays committed reconfigurations through the load
+	// engine; wire into DaemonConfig.FlowMonitor.
+	FlowMonitor = flowsim.Monitor
+	// FlowImpact is one reconfiguration's simulated user impact (the
+	// /status flow_impact block).
+	FlowImpact = flowsim.Impact
+	// LoadProfile declares diurnal + flash-crowd arrival shaping.
+	LoadProfile = traffic.LoadProfile
+	// Shape is one seeded realisation of a LoadProfile; its Mult(t) is
+	// pure and thread-safe.
+	Shape = traffic.Shape
+	// SizeDist is an empirical flow-size distribution (web1, web2,
+	// hadoop, cache).
+	SizeDist = traffic.SizeDist
 )
 
 // Control-plane types (internal/daemon).
@@ -204,3 +240,28 @@ func Survivability(cfg SurvivabilityConfig) (*SurvivabilityResult, error) {
 // NewDaemon validates the configuration and prepares an irisd control
 // loop; the first convergence happens on the first Run tick.
 func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return daemon.New(cfg) }
+
+// RunLoad runs the user-scale flow load engine: processor-sharing fluid
+// flows on a credit-bucket calendar, exact departures, millions of
+// concurrent flows.
+func RunLoad(cfg LoadConfig) (LoadStats, error) { return flowsim.RunLoad(cfg) }
+
+// DefaultLoadProfile returns a plausible diurnal + flash-crowd arrival
+// profile; mutate the returned struct to deviate (the zero LoadProfile
+// is flat).
+func DefaultLoadProfile() LoadProfile { return traffic.DefaultLoadProfile() }
+
+// NewShape freezes one seeded realisation of a LoadProfile over the
+// given horizon.
+func NewShape(seed int64, p LoadProfile, horizonS float64) (*Shape, error) {
+	return traffic.NewShape(seed, p, horizonS)
+}
+
+// WorkloadByName returns the published flow-size distribution with the
+// given name: web1, web2, hadoop or cache.
+func WorkloadByName(name string) (SizeDist, bool) { return traffic.WorkloadByName(name) }
+
+// NewFlowMonitor validates the configuration and returns a live
+// flow-impact monitor; pass it as DaemonConfig.FlowMonitor and register
+// its metrics by sharing the daemon's telemetry registry.
+func NewFlowMonitor(cfg FlowMonitorConfig) (*FlowMonitor, error) { return flowsim.NewMonitor(cfg) }

@@ -12,18 +12,26 @@ sha="${1:-unknown}"
 awk -v sha="$sha" '
 BEGIN { printf "{\n  \"commit\": \"%s\",\n  \"results\": [", sha; n = 0 }
 $1 ~ /^Benchmark/ && $2 ~ /^[0-9]+$/ {
-  name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+  name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""; extra = ""
   for (i = 3; i < NF; i++) {
-    if ($(i + 1) == "ns/op")     ns = $i
-    if ($(i + 1) == "B/op")      bytes = $i
-    if ($(i + 1) == "allocs/op") allocs = $i
+    unit = $(i + 1)
+    if (unit == "ns/op")          ns = $i
+    else if (unit == "B/op")      bytes = $i
+    else if (unit == "allocs/op") allocs = $i
+    else if (unit ~ /^[A-Za-z][A-Za-z0-9_.%\/-]*$/ && $i ~ /^[0-9.eE+-]+$/) {
+      # Custom b.ReportMetric units (flows, peak-flows, ...): JSONify the
+      # unit name so figures of merit land in the artifact too.
+      key = unit
+      gsub(/[^A-Za-z0-9_]/, "_", key)
+      extra = extra sprintf(", \"%s\": %s", key, $i)
+    }
   }
   if (n++) printf ","
   printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
   if (ns != "")     printf ", \"ns_per_op\": %s", ns
   if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-  printf "}"
+  printf "%s}", extra
 }
 END { printf "\n  ]\n}\n" }
 '
