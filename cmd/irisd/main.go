@@ -26,6 +26,11 @@
 // -diurnal-* and -flash-* flags shape both the demand matrices and the
 // simulated flow arrivals.
 //
+// The whole region — fabric, feed, injector, flow monitor, daemon — is
+// assembled by daemon.BuildRegion, the same path the irisfleet supervisor
+// uses for each of its N regions, so the single-region and fleet binaries
+// cannot drift.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: an in-flight
 // reconfiguration finishes its drained sequence, the HTTP server closes,
 // then the testbed is torn down.
@@ -36,7 +41,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -44,15 +48,10 @@ import (
 	"syscall"
 	"time"
 
-	"iris/internal/chaos"
 	"iris/internal/control"
 	"iris/internal/daemon"
-	"iris/internal/fabric"
-	"iris/internal/flowsim"
 	"iris/internal/logging"
 	"iris/internal/optics"
-	"iris/internal/telemetry"
-	"iris/internal/trace"
 	"iris/internal/traffic"
 )
 
@@ -101,126 +100,55 @@ func main() {
 		os.Exit(1)
 	}
 
-	var tracer *trace.Tracer
-	if *traceEvents > 0 {
-		tracer = trace.New(*traceEvents)
-	}
-
-	var devs *chaos.DeviceSet
-	bringUp := fabric.BringUpConfig{
-		Toy: *toy, Seed: *seed, DCs: *dcs,
-		OSSDelay: *ossDelay,
-		Dial:     control.DialOptions{RPCTimeout: *rpcTimeout},
-		Tracer:   tracer,
-	}
-	if *chaosEnabled {
-		devs = chaos.NewDeviceSet()
-		bringUp.WrapDevice = devs.Wrap
-	}
-	rig, err := fabric.BringUp(bringUp)
-	if err != nil {
-		fatal("bring-up failed", err)
-	}
-	defer rig.Close()
-	m := rig.Dep.Region.Map
-	log.Info("region up",
-		"dcs", len(m.DCs()),
-		"devices", len(rig.Testbed.Controller.Devices()),
-		"fiber_pairs", rig.Dep.Plan.TotalFiberPairs())
-
-	// Traffic: a heavy-tailed base matrix evolved by the §6.3 change
-	// process, in wavelength units against each DC's hose capacity.
-	caps := make(map[int]float64)
-	for dc, c := range rig.Dep.Region.Capacity {
-		caps[dc] = float64(c * rig.Dep.Region.Lambda)
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	base := traffic.HeavyTailed(rng, m.DCs(), caps, *util)
-	var feed traffic.Source = traffic.NewEvolver(*seed+1, base,
-		traffic.ChangeProcess{Bound: *shiftBound, Caps: caps, Util: *util})
-
-	// User-scale demand modulation: diurnal swing plus flash crowds,
-	// layered on the change process and (below) on the flow monitor's
-	// arrivals. A day of shape is drawn up front; the deterministic
-	// windows repeat nothing and survive restarts with the same seed.
-	profile := traffic.LoadProfile{
+	cfg := daemon.DefaultRegionConfig()
+	cfg.Toy = *toy
+	cfg.Seed = *seed
+	cfg.DCs = *dcs
+	cfg.OSSDelay = *ossDelay
+	cfg.RPCTimeout = *rpcTimeout
+	cfg.Interval = *interval
+	cfg.MaxBatch = *maxBatch
+	cfg.ProbeInterval = *probeInterval
+	cfg.Steps = *steps
+	cfg.ShiftBound = *shiftBound
+	cfg.Util = *util
+	cfg.TraceEvents = *traceEvents
+	cfg.Chaos = *chaosEnabled
+	cfg.FlowLoad = *flowLoad
+	cfg.FlowDist = *flowDist
+	cfg.FlowUtil = *flowUtil
+	cfg.FlowWindow = *flowWindow
+	cfg.FlowGbps = *flowGbps
+	cfg.Logger = log
+	cfg.Profile = traffic.LoadProfile{
 		DiurnalAmp: *diurnalAmp, DiurnalPeriodS: diurnalPeriod.Seconds(),
 		FlashDurationS: flashDur.Seconds(), FlashMult: *flashMult,
 	}
 	if *flashEvery > 0 {
-		profile.FlashEveryS = flashEvery.Seconds()
+		cfg.Profile.FlashEveryS = flashEvery.Seconds()
 	}
-	var shape *traffic.Shape
-	if !profile.Flat() {
-		shape, err = traffic.NewShape(*seed+2, profile, (24 * time.Hour).Seconds())
-		if err != nil {
-			fatal("bad load shape", err)
-		}
-		log.Info("load shape armed",
-			"diurnal_amp", *diurnalAmp, "flash_windows", shape.Flashes())
-		feed = traffic.Shaped(feed, shape, interval.Seconds(), caps)
-	}
-	if *steps > 0 {
-		feed = traffic.Limit(feed, *steps)
-	}
-	feed = traffic.Traced(feed, tracer)
 
-	// The injector shares the daemon's registry so iris_chaos_* metrics
-	// land on the same /metrics scrape as the control-loop metrics.
-	reg := telemetry.NewRegistry()
-	var inj *chaos.Injector
-	if *chaosEnabled {
-		inj, err = chaos.NewInjector(chaos.InjectorConfig{
-			Devices:  devs,
-			Fab:      rig.Fab,
-			Tracer:   tracer,
-			Registry: reg,
-		})
-		if err != nil {
-			fatal("chaos injector init failed", err)
-		}
+	b, err := daemon.BuildRegion(cfg)
+	if err != nil {
+		fatal("bring-up failed", err)
+	}
+	defer b.Close()
+	m := b.Rig.Dep.Region.Map
+	log.Info("region up",
+		"dcs", len(m.DCs()),
+		"devices", len(b.Rig.Testbed.Controller.Devices()),
+		"fiber_pairs", b.Rig.Dep.Plan.TotalFiberPairs())
+	if b.Shape != nil {
+		log.Info("load shape armed",
+			"diurnal_amp", *diurnalAmp, "flash_windows", b.Shape.Flashes())
+	}
+	if b.Injector != nil {
 		log.Info("chaos injector armed", "endpoint", "/debug/chaos")
 	}
-
-	// The flow monitor shares the registry too, so iris_flowsim_* rides
-	// the same scrape, and the arrival shape, so the simulated users see
-	// the same diurnal/flash swings the demand matrices do.
-	var mon *flowsim.Monitor
-	if *flowLoad {
-		dist, ok := traffic.WorkloadByName(*flowDist)
-		if !ok {
-			fatal("unknown -flow-dist", fmt.Errorf("%q (want web1, web2, hadoop or cache)", *flowDist))
-		}
-		mon, err = flowsim.NewMonitor(flowsim.MonitorConfig{
-			Seed: *seed + 3, Dist: dist, Util: *flowUtil,
-			GbpsPerWavelength: *flowGbps,
-			WindowS:           flowWindow.Seconds(),
-			Shape:             shape,
-			Registry:          reg,
-		})
-		if err != nil {
-			fatal("flow monitor init failed", err)
-		}
+	if b.Monitor != nil {
 		log.Info("flow-load monitor armed", "dist", *flowDist, "util", *flowUtil)
 	}
-
-	d, err := daemon.New(daemon.Config{
-		Fab:           rig.Fab,
-		Controller:    rig.Testbed.Controller,
-		Feed:          feed,
-		Interval:      *interval,
-		MaxBatch:      *maxBatch,
-		ProbeInterval: *probeInterval,
-		Seed:          *seed,
-		Registry:      reg,
-		Logger:        log,
-		Tracer:        tracer,
-		Chaos:         inj,
-		FlowMonitor:   mon,
-	})
-	if err != nil {
-		fatal("daemon init failed", err)
-	}
+	d := b.Daemon
 
 	mux := http.NewServeMux()
 	mux.Handle("/", d.Handler())

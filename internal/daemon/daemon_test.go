@@ -15,6 +15,7 @@ import (
 	"iris/internal/control"
 	"iris/internal/fabric"
 	"iris/internal/hose"
+	"iris/internal/telemetry"
 	"iris/internal/trace"
 	"iris/internal/traffic"
 )
@@ -106,10 +107,10 @@ func TestDaemonThreeShifts(t *testing.T) {
 	if !st.LastAuditOK || st.NeedRepair || st.LastError != "" {
 		t.Errorf("unexpected end state: %+v", st)
 	}
-	if got := d.Registry().Counter("iris_reconfig_total", "").Value(); got != 3 {
+	if got := counterValue(t, d.Registry(), "iris_reconfig_total"); got != 3 {
 		t.Errorf("iris_reconfig_total = %v, want 3", got)
 	}
-	if got := d.Registry().Counter("iris_audit_failures_total", "").Value(); got != 0 {
+	if got := counterValue(t, d.Registry(), "iris_audit_failures_total"); got != 0 {
 		t.Errorf("iris_audit_failures_total = %v, want 0", got)
 	}
 }
@@ -128,9 +129,20 @@ func TestDaemonSkipsEqualAllocation(t *testing.T) {
 	}
 	d.Step()
 	d.Step()
-	if got := d.Registry().Counter("iris_reconfig_total", "").Value(); got != 1 {
+	if got := counterValue(t, d.Registry(), "iris_reconfig_total"); got != 1 {
 		t.Errorf("iris_reconfig_total = %v, want 1 (second identical shift must be a no-op)", got)
 	}
+}
+
+// counterValue reads an unlabeled counter the daemon already registered;
+// registration is single-shot, so tests must look up, never re-claim.
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	c := reg.LookupCounter(name)
+	if c == nil {
+		t.Fatalf("counter %s not registered", name)
+	}
+	return c.Value()
 }
 
 // TestHTTPSurface exercises /status, /metrics and /healthz end to end.

@@ -153,7 +153,7 @@ func TestBreakerTripAndRecovery(t *testing.T) {
 	if done := d.Step(); done {
 		t.Fatal("feed exhausted prematurely")
 	}
-	if got := reg.Counter("iris_reconfig_failures_total", "").Value(); got != 1 {
+	if got := counterValue(t, reg, "iris_reconfig_failures_total"); got != 1 {
 		t.Fatalf("iris_reconfig_failures_total = %v, want 1", got)
 	}
 	st := d.Status()
@@ -173,13 +173,14 @@ func TestBreakerTripAndRecovery(t *testing.T) {
 	if d.Healthy() {
 		t.Fatal("Healthy() with an open breaker")
 	}
-	if got := reg.CounterVec("iris_breaker_trips_total", "", "device").With(victim).Value(); got != 1 {
-		t.Fatalf("breaker trips = %v, want 1", got)
+	trips := reg.LookupCounterWith("iris_breaker_trips_total", victim)
+	if trips == nil || trips.Value() != 1 {
+		t.Fatalf("breaker trips = %v, want 1", trips)
 	}
 
 	// Degraded: steps are skipped, the LKG allocation is held.
 	d.Step()
-	if got := reg.Counter("iris_daemon_skipped_steps_total", "").Value(); got != 1 {
+	if got := counterValue(t, reg, "iris_daemon_skipped_steps_total"); got != 1 {
 		t.Fatalf("skipped steps = %v, want 1", got)
 	}
 	held := d.Status()

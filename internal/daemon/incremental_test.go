@@ -75,10 +75,10 @@ func TestDaemonIncrementalConvergence(t *testing.T) {
 			t.Fatalf("shift %d: last-known-good diverged from full solve", i+1)
 		}
 	}
-	if got := reg.Counter("iris_alloc_fallback_total", "").Value(); got != 1 {
+	if got := counterValue(t, reg, "iris_alloc_fallback_total"); got != 1 {
 		t.Errorf("iris_alloc_fallback_total = %v, want 1 (only the first solve)", got)
 	}
-	if got := reg.Counter("iris_alloc_incremental_total", "").Value(); got != 2 {
+	if got := counterValue(t, reg, "iris_alloc_incremental_total"); got != 2 {
 		t.Errorf("iris_alloc_incremental_total = %v, want 2", got)
 	}
 	var b strings.Builder
@@ -136,10 +136,10 @@ func TestDaemonCoalescesBurst(t *testing.T) {
 		t.Fatal("feed not exhausted after both batches")
 	}
 
-	if got := reg.Counter("iris_daemon_coalesced_shifts_total", "").Value(); got != 3 {
+	if got := counterValue(t, reg, "iris_daemon_coalesced_shifts_total"); got != 3 {
 		t.Errorf("iris_daemon_coalesced_shifts_total = %v, want 3 (2 in the first burst, 1 in the second)", got)
 	}
-	if got := reg.Counter("iris_reconfig_total", "").Value(); got != 2 {
+	if got := counterValue(t, reg, "iris_reconfig_total"); got != 2 {
 		t.Errorf("iris_reconfig_total = %v, want 2 (one per batch)", got)
 	}
 }
@@ -179,7 +179,7 @@ func TestDaemonIncrementalRollbackOnFailure(t *testing.T) {
 	if done := d.Step(); done { // shift 2 aborts mid-reconfiguration
 		t.Fatal("feed exhausted prematurely")
 	}
-	if got := reg.Counter("iris_reconfig_failures_total", "").Value(); got != 1 {
+	if got := counterValue(t, reg, "iris_reconfig_failures_total"); got != 1 {
 		t.Fatalf("iris_reconfig_failures_total = %v, want 1", got)
 	}
 	state, lkg, have := books(d)
@@ -201,7 +201,7 @@ func TestDaemonIncrementalRollbackOnFailure(t *testing.T) {
 	if !state.Equal(want2) || !lkg.Equal(want2) {
 		t.Fatal("retried shift did not converge to the full solve")
 	}
-	if got := reg.Counter("iris_alloc_incremental_total", "").Value(); got < 1 {
+	if got := counterValue(t, reg, "iris_alloc_incremental_total"); got < 1 {
 		t.Errorf("iris_alloc_incremental_total = %v, want ≥1 (retry should use the delta path)", got)
 	}
 }

@@ -16,9 +16,13 @@ import (
 )
 
 // Registry holds named metric families. All methods are safe for
-// concurrent use; registering an existing name returns the existing
-// collector (or panics if the type or label key differs — a programming
-// error, not an operational condition).
+// concurrent use. Registration is single-shot: each metric name may be
+// claimed exactly once per Registry, and claiming a name twice panics (a
+// programming error, not an operational condition). The panic is what
+// makes registries instance-scoped — two daemon instances handed the same
+// Registry would otherwise silently alias their counters and corrupt both
+// regions' numbers, so multi-instance supervisors (the fleet) give every
+// instance its own Registry and merge scrapes with MergeText.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
@@ -43,15 +47,16 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// family claims a metric name. A name already present — same type or not —
+// panics: collectors are single-instance per Registry, so a duplicate claim
+// means two subsystem instances were wired to one Registry and their
+// samples would silently alias.
 func (r *Registry) family(name, help, typ, label string, buckets []float64) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
-		if f.typ != typ || f.label != label {
-			panic(fmt.Sprintf("telemetry: %s re-registered as %s/%q, was %s/%q",
-				name, typ, label, f.typ, f.label))
-		}
-		return f
+		panic(fmt.Sprintf("telemetry: %s already registered (as %s/%q, now claimed as %s/%q) — collectors are single-instance per Registry; give each subsystem instance its own Registry and aggregate with MergeText",
+			name, f.typ, f.label, typ, label))
 	}
 	f := &family{name: name, help: help, typ: typ, label: label,
 		children: make(map[string]collector), buckets: buckets}
@@ -212,31 +217,67 @@ func (h *Histogram) write(w io.Writer, name, labels string) error {
 	return err
 }
 
-// Counter returns the unlabeled counter with the given name, registering
-// it on first use.
+// Counter registers and returns the unlabeled counter with the given
+// name. Claiming a name twice panics — see Registry.
 func (r *Registry) Counter(name, help string) *Counter {
 	f := r.family(name, help, "counter", "", nil)
 	return f.child("", func() collector { return &Counter{} }).(*Counter)
 }
 
-// Gauge returns the unlabeled gauge with the given name.
+// Gauge registers and returns the unlabeled gauge with the given name.
+// Claiming a name twice panics — see Registry.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	f := r.family(name, help, "gauge", "", nil)
 	return f.child("", func() collector { return &Gauge{} }).(*Gauge)
 }
 
-// Histogram returns the unlabeled histogram with the given name and bucket
-// upper bounds.
+// Histogram registers and returns the unlabeled histogram with the given
+// name and bucket upper bounds. Claiming a name twice panics — see
+// Registry.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	f := r.family(name, help, "histogram", "", buckets)
 	return f.child("", func() collector { return newHistogram(f.buckets) }).(*Histogram)
 }
 
+// LookupCounter returns the already-registered unlabeled counter with
+// the given name, or nil if no such counter exists. Unlike Counter it
+// never registers a family — use it to observe a metric owned by
+// another subsystem (e.g. from a test) without claiming the name.
+func (r *Registry) LookupCounter(name string) *Counter {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, _ := f.children[""].(*Counter)
+	return c
+}
+
+// LookupCounterWith returns the already-registered counter for one label
+// value of the named labeled family, or nil if the family or value does
+// not exist. Like LookupCounter, it never registers.
+func (r *Registry) LookupCounterWith(name, value string) *Counter {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, _ := f.children[value].(*Counter)
+	return c
+}
+
 // CounterVec is a counter family keyed by one label.
 type CounterVec struct{ f *family }
 
-// CounterVec returns the labeled counter family with the given name and
-// label key.
+// CounterVec registers and returns the labeled counter family with the
+// given name and label key. Claiming a name twice panics; new label
+// values via With remain dynamic.
 func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return &CounterVec{r.family(name, help, "counter", label, nil)}
 }
@@ -249,8 +290,9 @@ func (v *CounterVec) With(value string) *Counter {
 // GaugeVec is a gauge family keyed by one label.
 type GaugeVec struct{ f *family }
 
-// GaugeVec returns the labeled gauge family with the given name and label
-// key.
+// GaugeVec registers and returns the labeled gauge family with the given
+// name and label key. Claiming a name twice panics; new label values via
+// With remain dynamic.
 func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
 	return &GaugeVec{r.family(name, help, "gauge", label, nil)}
 }
@@ -263,8 +305,9 @@ func (v *GaugeVec) With(value string) *Gauge {
 // HistogramVec is a histogram family keyed by one label.
 type HistogramVec struct{ f *family }
 
-// HistogramVec returns the labeled histogram family with the given name,
-// label key and bucket upper bounds.
+// HistogramVec registers and returns the labeled histogram family with
+// the given name, label key and bucket upper bounds. Claiming a name
+// twice panics; new label values via With remain dynamic.
 func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
 	return &HistogramVec{r.family(name, help, "histogram", label, buckets)}
 }
@@ -274,41 +317,123 @@ func (v *HistogramVec) With(value string) *Histogram {
 	return v.f.child(value, func() collector { return newHistogram(v.f.buckets) }).(*Histogram)
 }
 
+// snapshot returns the registry's families in name order.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, len(r.names))
+	for i, n := range r.names {
+		fams[i] = r.families[n]
+	}
+	return fams
+}
+
+// writeChildren emits one family's sample lines, composing the family
+// label with an optional extra label pair (extraKey == "" omits it). The
+// extra label lets a supervisor stamp every sample of an instance-scoped
+// registry with the instance's identity.
+func (f *family) writeChildren(w io.Writer, extraKey, extraVal string) error {
+	f.mu.Lock()
+	values := make([]string, 0, len(f.children))
+	for v := range f.children {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	children := make([]collector, len(values))
+	for i, v := range values {
+		children[i] = f.children[v]
+	}
+	f.mu.Unlock()
+	for i, c := range children {
+		// %q escapes backslash, quote and newline — exactly the Prometheus
+		// label escaping rules.
+		var pairs []string
+		if f.label != "" {
+			pairs = append(pairs, fmt.Sprintf("%s=%q", f.label, values[i]))
+		}
+		if extraKey != "" {
+			pairs = append(pairs, fmt.Sprintf("%s=%q", extraKey, extraVal))
+		}
+		labels := ""
+		if len(pairs) > 0 {
+			labels = "{" + strings.Join(pairs, ",") + "}"
+		}
+		if err := c.write(w, f.name, labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteText renders every registered family in the Prometheus text
 // exposition format, families sorted by name and children by label value.
 func (r *Registry) WriteText(w io.Writer) error {
-	r.mu.Lock()
-	names := append([]string(nil), r.names...)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
-	}
-	r.mu.Unlock()
-
-	for _, f := range fams {
+	for _, f := range r.snapshot() {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
 			return err
 		}
-		f.mu.Lock()
-		values := make([]string, 0, len(f.children))
-		for v := range f.children {
-			values = append(values, v)
+		if err := f.writeChildren(w, "", ""); err != nil {
+			return err
 		}
-		sort.Strings(values)
-		children := make([]collector, len(values))
-		for i, v := range values {
-			children[i] = f.children[v]
-		}
-		f.mu.Unlock()
-		for i, c := range children {
-			labels := ""
-			if f.label != "" {
-				// %q escapes backslash, quote and newline — exactly the
-				// Prometheus label escaping rules.
-				labels = fmt.Sprintf("{%s=%q}", f.label, values[i])
+	}
+	return nil
+}
+
+// LabeledRegistry pairs an instance-scoped registry with the label value
+// that identifies the instance in a merged exposition.
+type LabeledRegistry struct {
+	Value string
+	Reg   *Registry
+}
+
+// MergeText renders several instance-scoped registries as one Prometheus
+// exposition, stamping every sample with label=value identifying its
+// source registry (composed after any family label, so
+// iris_probe_failures_total{device="oss-3"} becomes
+// iris_probe_failures_total{device="oss-3",region="r007"}). A family that
+// appears in several registries is emitted once — HELP/TYPE from its
+// first appearance — followed by every instance's samples in the order
+// the registries are given. Registering the same family name with a
+// different type or label key across instances is an error, because the
+// merged exposition would be self-contradictory.
+func MergeText(w io.Writer, label string, regs []LabeledRegistry) error {
+	type famGroup struct {
+		help, typ, labelKey string
+		members             []int // indices into regs, in given order
+	}
+	groups := make(map[string]*famGroup)
+	var order []string
+	snaps := make([][]*family, len(regs))
+	for i, lr := range regs {
+		snaps[i] = lr.Reg.snapshot()
+		for _, f := range snaps[i] {
+			g, ok := groups[f.name]
+			if !ok {
+				groups[f.name] = &famGroup{help: f.help, typ: f.typ, labelKey: f.label, members: []int{i}}
+				order = append(order, f.name)
+				continue
 			}
-			if err := c.write(w, f.name, labels); err != nil {
-				return err
+			if g.typ != f.typ || g.labelKey != f.label {
+				return fmt.Errorf("telemetry: merge: %s is %s/%q in %s but %s/%q earlier",
+					f.name, f.typ, f.label, lr.Value, g.typ, g.labelKey)
+			}
+			g.members = append(g.members, i)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		g := groups[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, g.help, name, g.typ); err != nil {
+			return err
+		}
+		for _, i := range g.members {
+			for _, f := range snaps[i] {
+				if f.name != name {
+					continue
+				}
+				if err := f.writeChildren(w, label, regs[i].Value); err != nil {
+					return err
+				}
 			}
 		}
 	}

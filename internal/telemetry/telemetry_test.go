@@ -14,16 +14,44 @@ func TestCounterGaugeBasics(t *testing.T) {
 	if c.Value() != 3 {
 		t.Errorf("counter = %v, want 3", c.Value())
 	}
-	// Re-registering returns the same collector.
-	if r.Counter("requests_total", "requests") != c {
-		t.Error("re-registration returned a new counter")
-	}
 	g := r.Gauge("depth", "queue depth")
 	g.Set(5)
 	g.Add(-2)
 	if g.Value() != 3 {
 		t.Errorf("gauge = %v, want 3", g.Value())
 	}
+}
+
+// TestDuplicateRegistrationPanics is the multi-instance collision
+// regression test: before the fix, registering an existing name silently
+// returned the first instance's collector, so two daemons sharing one
+// registry aliased their gauges and corrupted both regions' numbers. Now
+// every duplicate claim — same type included — panics.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: duplicate registration did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Gauge("iris_circuits_active", "")
+	mustPanic("gauge twice", func() { r.Gauge("iris_circuits_active", "") })
+	r.Counter("steps_total", "")
+	mustPanic("counter twice", func() { r.Counter("steps_total", "") })
+	r.Histogram("lat_seconds", "", []float64{1})
+	mustPanic("histogram twice", func() { r.Histogram("lat_seconds", "", []float64{1}) })
+	r.CounterVec("per_dev_total", "", "device")
+	mustPanic("countervec twice", func() { r.CounterVec("per_dev_total", "", "device") })
+	mustPanic("cross-type", func() { r.Gauge("steps_total", "") })
+
+	// Instance scoping: the same name on two different registries is two
+	// independent collectors.
+	r2 := NewRegistry()
+	r2.Gauge("iris_circuits_active", "").Set(7)
 }
 
 func TestCounterRejectsDecrease(t *testing.T) {
@@ -65,8 +93,9 @@ func TestHistogramBuckets(t *testing.T) {
 
 func TestWriteTextDeterministicOrder(t *testing.T) {
 	r := NewRegistry()
-	r.CounterVec("zeta_total", "z", "device").With("b").Inc()
-	r.CounterVec("zeta_total", "z", "device").With("a").Inc()
+	zeta := r.CounterVec("zeta_total", "z", "device")
+	zeta.With("b").Inc()
+	zeta.With("a").Inc()
 	r.Gauge("alpha", "a").Set(1)
 	var b1, b2 strings.Builder
 	if err := r.WriteText(&b1); err != nil {
@@ -112,23 +141,84 @@ func TestMismatchedReRegistrationPanics(t *testing.T) {
 
 func TestConcurrentUseIsRaceFree(t *testing.T) {
 	r := NewRegistry()
+	hits := r.Counter("hits_total", "")
+	perDev := r.CounterVec("per_dev_total", "", "device")
+	h := r.Histogram("h", "", []float64{1})
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
-				r.Counter("hits_total", "").Inc()
-				r.CounterVec("per_dev_total", "", "device").With("d").Inc()
-				r.Histogram("h", "", []float64{1}).Observe(float64(j))
+				hits.Inc()
+				// Vec children stay dynamic after registration: With is the
+				// concurrent lookup-or-create path.
+				perDev.With("d").Inc()
+				h.Observe(float64(j))
 				var b strings.Builder
 				_ = r.WriteText(&b)
 			}
 		}()
 	}
 	wg.Wait()
-	if got := r.Counter("hits_total", "").Value(); got != 800 {
+	if got := hits.Value(); got != 800 {
 		t.Errorf("hits = %v, want 800", got)
+	}
+}
+
+// TestMergeText pins the fleet's /metrics rollup: instance-scoped
+// registries merged into one exposition, every sample stamped with the
+// instance label, family labels composed, HELP/TYPE emitted once per
+// family, and histogram le labels composed after the instance label.
+func TestMergeText(t *testing.T) {
+	r0, r1 := NewRegistry(), NewRegistry()
+	r0.Counter("iris_reconfig_total", "reconfigs").Add(3)
+	r1.Counter("iris_reconfig_total", "reconfigs").Add(5)
+	r0.GaugeVec("iris_breaker_state", "breakers", "device").With("oss-1").Set(2)
+	r1.Histogram("iris_reconfig_seconds", "latency", []float64{0.5}).Observe(0.25)
+	r0.Gauge("only_in_r0", "singleton").Set(1)
+
+	var b strings.Builder
+	err := MergeText(&b, "region", []LabeledRegistry{
+		{Value: "r000", Reg: r0},
+		{Value: "r001", Reg: r1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP iris_reconfig_total reconfigs\n# TYPE iris_reconfig_total counter\n",
+		`iris_reconfig_total{region="r000"} 3`,
+		`iris_reconfig_total{region="r001"} 5`,
+		`iris_breaker_state{device="oss-1",region="r000"} 2`,
+		`iris_reconfig_seconds_bucket{region="r001",le="0.5"} 1`,
+		`iris_reconfig_seconds_bucket{region="r001",le="+Inf"} 1`,
+		`iris_reconfig_seconds_count{region="r001"} 1`,
+		`only_in_r0{region="r000"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE iris_reconfig_total counter") != 1 {
+		t.Errorf("TYPE emitted more than once:\n%s", out)
+	}
+	// Samples of one family are grouped under its single header, regions
+	// in the order the registries were given.
+	if strings.Index(out, `{region="r000"} 3`) > strings.Index(out, `{region="r001"} 5`) {
+		t.Errorf("merge did not preserve registry order:\n%s", out)
+	}
+
+	// A cross-instance type conflict is an error, not silent corruption.
+	r2 := NewRegistry()
+	r2.Gauge("iris_reconfig_total", "now a gauge")
+	err = MergeText(&b, "region", []LabeledRegistry{
+		{Value: "r000", Reg: r0},
+		{Value: "r002", Reg: r2},
+	})
+	if err == nil {
+		t.Error("merging conflicting family types did not error")
 	}
 }
 

@@ -30,6 +30,10 @@
 // drained reconfigurations, health supervision and an HTTP metrics/status
 // surface. Survivability audits (Survivability) and live fault injection
 // (chaos Scenario / AuditResult) ride on the same planned deployments.
+// One call assembles a whole region (DefaultRegionConfig, BuildRegion),
+// and a fleet supervisor (DefaultFleetConfig, NewFleet) scales that to N
+// regions converging concurrently with an inter-region demand bus,
+// correlated chaos storms (StormConfig) and an aggregated HTTP plane.
 //
 // Every config type follows one construction idiom: call its Default*
 // helper and mutate the returned struct (for example DefaultGen, then set
@@ -46,6 +50,7 @@ import (
 	"iris/internal/daemon"
 	"iris/internal/experiments"
 	"iris/internal/fibermap"
+	"iris/internal/fleet"
 	"iris/internal/flowsim"
 	"iris/internal/hose"
 	"iris/internal/traffic"
@@ -167,6 +172,31 @@ type (
 	// Daemon is the long-running control loop: construct with NewDaemon,
 	// drive with Run, observe via Handler/Status.
 	Daemon = daemon.Daemon
+	// RegionConfig describes one full region to assemble — fabric, feed,
+	// injector, flow monitor, daemon — through BuildRegion, the single
+	// assembly path shared by irisd and the fleet.
+	RegionConfig = daemon.RegionConfig
+	// BuiltRegion is one assembled region; Close tears its testbed down.
+	BuiltRegion = daemon.BuiltRegion
+	// DemandSummary is a region's hose-aggregate demand view, as
+	// published on the fleet's inter-region demand bus.
+	DemandSummary = daemon.DemandSummary
+)
+
+// Multi-region fleet types (internal/fleet).
+type (
+	// FleetConfig parameterises the multi-region fleet supervisor.
+	FleetConfig = fleet.Config
+	// Fleet supervises N regions: construct with NewFleet, drive with
+	// Run/Round, observe via Handler/Status, stress with Storm.
+	Fleet = fleet.Fleet
+	// FleetStatus is the fleet-wide /status summary.
+	FleetStatus = fleet.Status
+	// FleetSkew is the cross-region demand-skew report derived from the
+	// inter-region demand bus.
+	FleetSkew = fleet.SkewReport
+	// StormConfig describes a correlated multi-region failure event.
+	StormConfig = fleet.StormConfig
 )
 
 // Toy returns the paper's Fig. 10 example region (§3.4).
@@ -240,6 +270,25 @@ func Survivability(cfg SurvivabilityConfig) (*SurvivabilityResult, error) {
 // NewDaemon validates the configuration and prepares an irisd control
 // loop; the first convergence happens on the first Run tick.
 func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return daemon.New(cfg) }
+
+// DefaultRegionConfig returns irisd's region defaults (toy map, 2 s
+// control loop, tracing on); set Seed and toggles on the returned
+// struct.
+func DefaultRegionConfig() RegionConfig { return daemon.DefaultRegionConfig() }
+
+// BuildRegion assembles one region end to end — fabric, traffic feed,
+// optional chaos injector and flow monitor, supervising daemon — the
+// same path irisd and the fleet share.
+func BuildRegion(cfg RegionConfig) (*BuiltRegion, error) { return daemon.BuildRegion(cfg) }
+
+// DefaultFleetConfig returns a small deterministic fleet configuration;
+// set Regions, Seed and the Region template on the returned struct.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewFleet builds and wires N regions under one supervisor with a
+// sharded convergence scheduler, an inter-region demand bus and an
+// aggregated HTTP plane.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // RunLoad runs the user-scale flow load engine: processor-sharing fluid
 // flows on a credit-bucket calendar, exact departures, millions of
