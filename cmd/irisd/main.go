@@ -73,6 +73,8 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		traceEvents   = flag.Int("trace-events", 4096, "flight-recorder capacity in events (0 disables tracing)")
+		historyRecs   = flag.Int("history-records", 512, "reconfiguration history lake capacity (0 = default 512, negative disables)")
+		historyPath   = flag.String("history-path", "", "persist history records to this JSONL file and replay its tail on start")
 		pprofEnabled  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 		chaosEnabled  = flag.Bool("chaos", false, "wrap devices in fault shims and serve the injector on /debug/chaos")
 
@@ -113,6 +115,8 @@ func main() {
 	cfg.ShiftBound = *shiftBound
 	cfg.Util = *util
 	cfg.TraceEvents = *traceEvents
+	cfg.HistoryRecords = *historyRecs
+	cfg.HistoryPath = *historyPath
 	cfg.Chaos = *chaosEnabled
 	cfg.FlowLoad = *flowLoad
 	cfg.FlowDist = *flowDist
@@ -165,7 +169,7 @@ func main() {
 	go func() {
 		log.Info("http surface up",
 			"addr", *listen,
-			"endpoints", "/metrics /status /healthz /debug/events /debug/trace")
+			"endpoints", "/metrics /status /healthz /debug/events /debug/trace /api/paths /api/critical /api/whatif /api/history")
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("http serve failed", err)
 		}

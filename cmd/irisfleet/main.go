@@ -70,6 +70,8 @@ func main() {
 		chaosOn  = flag.Bool("chaos", false, "arm a chaos injector in every region (enables /chaos storms and /regions/{id}/debug/chaos)")
 		flowLoad = flag.Bool("flow-load", false, "arm the flow-impact monitor in every region")
 
+		historyRecs = flag.Int("history-records", 256, "per-region reconfiguration history lake capacity (0 = default 512, negative disables)")
+
 		traceEvents = flag.Int("trace-events", 1024, "per-region flight-recorder capacity (0 disables region tracing)")
 		fleetTrace  = flag.Int("fleet-trace-events", 4096, "fleet flight-recorder capacity for fleet-round/fleet-chaos spans (0 disables)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -104,6 +106,7 @@ func main() {
 	rc.Chaos = *chaosOn
 	rc.FlowLoad = *flowLoad
 	rc.TraceEvents = *traceEvents
+	rc.HistoryRecords = *historyRecs
 	cfg.Region = rc
 
 	f, err := fleet.New(cfg)
@@ -117,7 +120,7 @@ func main() {
 	go func() {
 		log.Info("fleet http surface up",
 			"addr", *listen,
-			"endpoints", "/metrics /status /healthz /demand /chaos /regions/{id}/")
+			"endpoints", "/metrics /status /healthz /demand /api/history /chaos /regions/{id}/")
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Error("http serve failed", "err", err)
 			os.Exit(1)

@@ -13,8 +13,9 @@ import (
 	"time"
 
 	"iris/internal/control"
+	"iris/internal/core"
 	"iris/internal/fabric"
-	"iris/internal/geo"
+	"iris/internal/history"
 	"iris/internal/telemetry"
 	"iris/internal/trace"
 )
@@ -373,6 +374,19 @@ type CycleConfig struct {
 	PollInterval time.Duration
 	// Timeout bounds each wait phase (default 30s).
 	Timeout time.Duration
+	// History, when non-nil, receives one record per cycle — success or
+	// failure — under the cycle's trace ID.
+	History *history.Lake
+	// Books supplies the control plane's committed allocation and hose
+	// aggregate; RunCycle calls it before injecting and after settling to
+	// compute the cycle's allocation diff. Required for records to carry
+	// pair/duct deltas (nil leaves them empty).
+	Books func() (core.Allocation, history.HoseAggregate)
+	// SettleExtra, when non-nil, is ANDed with CP.ConvergedNow during the
+	// settle wait. The daemon's cycle endpoint uses it to hold the cycle
+	// open until a post-recovery reconfiguration has actually committed,
+	// so the emitted record's diff is never an accident of timing.
+	SettleExtra func() bool
 }
 
 // CycleResult reports one completed chaos cycle.
@@ -414,10 +428,46 @@ func (in *Injector) RunCycle(cfg CycleConfig) (*CycleResult, error) {
 	root := in.tracer.Start(id, "chaos-cycle")
 	root.SetAttr(cfg.Scenario.Name)
 	t0 := in.now()
+
+	// Bracket the cycle for the history lake: pre-state now, post-state
+	// and the record after the root span lands in the flight recorder.
+	var preAlloc core.Allocation
+	var preHose history.HoseAggregate
+	if cfg.History != nil && cfg.Books != nil {
+		preAlloc, preHose = cfg.Books()
+	}
+	preHealth := history.Health{Healthy: cfg.CP.Healthy(), Converged: cfg.CP.ConvergedNow()}
+	emit := func(opErr error) {
+		if cfg.History == nil {
+			return
+		}
+		rec := history.Record{
+			ReconfigID: id,
+			Trigger:    history.TriggerChaos,
+			At:         t0,
+			Duration:   in.now().Sub(t0),
+			PreHealth:  preHealth,
+			PostHealth: history.Health{Healthy: cfg.CP.Healthy(), Converged: cfg.CP.ConvergedNow()},
+			PreHose:    preHose,
+		}
+		if opErr != nil {
+			rec.Err = opErr.Error()
+		}
+		if cfg.Books != nil {
+			postAlloc, postHose := cfg.Books()
+			rec.PostHose = postHose
+			rec.Pairs = core.DiffAlloc(preAlloc, postAlloc)
+			rec.Ducts = in.fab.Deployment().DuctDeltas(rec.Pairs)
+		}
+		rec.Spans = in.tracer.Events(trace.Filter{TraceID: id})
+		cfg.History.Append(rec)
+	}
+
 	fail := func(err error) (*CycleResult, error) {
 		in.cycleFails.Inc()
 		root.Fail(err)
 		root.Finish()
+		emit(err)
 		return nil, err
 	}
 	wait := func(name string, cond func() bool) (time.Duration, error) {
@@ -474,13 +524,17 @@ func (in *Injector) RunCycle(cfg CycleConfig) (*CycleResult, error) {
 		return fail(fmt.Errorf("chaos: replan: %w", err))
 	}
 
-	if _, err := wait("settle", cfg.CP.ConvergedNow); err != nil {
+	settled := func() bool {
+		return cfg.CP.ConvergedNow() && (cfg.SettleExtra == nil || cfg.SettleExtra())
+	}
+	if _, err := wait("settle", settled); err != nil {
 		return fail(err)
 	}
 	repair := in.now().Sub(repairStart)
 	in.repairSecs.Observe(repair.Seconds())
 	in.cycles.Inc()
 	root.Finish()
+	emit(nil)
 	return &CycleResult{
 		TraceID: id,
 		Fault:   f,
@@ -517,7 +571,7 @@ func (in *Injector) Handler() http.Handler {
 		q := r.URL.Query()
 		switch q.Get("action") {
 		case "inject":
-			sc, err := in.scenarioFromQuery(q)
+			sc, err := ScenarioFromQuery(in.fab.Deployment().Region.Map, q)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -555,73 +609,4 @@ func (in *Injector) Handler() http.Handler {
 			http.Error(w, "unknown action (want inject, restore or restore_all)", http.StatusBadRequest)
 		}
 	})
-}
-
-// scenarioFromQuery builds a scenario from /debug/chaos POST parameters.
-func (in *Injector) scenarioFromQuery(q map[string][]string) (Scenario, error) {
-	get := func(key string) string {
-		if vs := q[key]; len(vs) > 0 {
-			return vs[0]
-		}
-		return ""
-	}
-	m := in.fab.Deployment().Region.Map
-	kind, err := KindFromString(get("kind"))
-	if err != nil {
-		return Scenario{}, err
-	}
-	parseNode := func() (int, error) {
-		n, err := strconv.Atoi(get("node"))
-		if err != nil || n < 0 || n >= len(m.Nodes) {
-			return 0, fmt.Errorf("chaos: bad node %q", get("node"))
-		}
-		return n, nil
-	}
-	switch kind {
-	case DuctCut:
-		var ducts []int
-		for _, v := range q["duct"] {
-			id, err := strconv.Atoi(v)
-			if err != nil || id < 0 || id >= len(m.Ducts) {
-				return Scenario{}, fmt.Errorf("chaos: bad duct %q", v)
-			}
-			ducts = append(ducts, id)
-		}
-		if len(ducts) == 0 {
-			return Scenario{}, fmt.Errorf("chaos: cut needs at least one duct")
-		}
-		return Cut(ducts...), nil
-	case HutLoss, DCLoss, AmpFailure:
-		node, err := parseNode()
-		if err != nil {
-			return Scenario{}, err
-		}
-		sc := Cut(incidentDucts(m, node)...)
-		sc.Kind = kind
-		sc.Name = fmt.Sprintf("%s %s", kind, m.Nodes[node].Name)
-		sc.Node = node
-		return sc, nil
-	case GeoEvent:
-		x, errX := strconv.ParseFloat(get("x"), 64)
-		y, errY := strconv.ParseFloat(get("y"), 64)
-		radius, errR := strconv.ParseFloat(get("radius"), 64)
-		if errX != nil || errY != nil || errR != nil || radius <= 0 {
-			return Scenario{}, fmt.Errorf("chaos: geo needs x, y and a positive radius")
-		}
-		c := geo.Point{X: x, Y: y}
-		var ducts []int
-		for _, d := range m.Ducts {
-			if geo.DistToSegment(c, m.Nodes[d.A].Pos, m.Nodes[d.B].Pos) <= radius {
-				ducts = append(ducts, d.ID)
-			}
-		}
-		sc := Cut(ducts...)
-		sc.Kind = GeoEvent
-		sc.Name = fmt.Sprintf("geo %s r=%.1f", c, radius)
-		sc.Node = -1
-		sc.Center = c
-		sc.RadiusKM = radius
-		return sc, nil
-	}
-	return Scenario{}, fmt.Errorf("chaos: unsupported kind %q", kind)
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"iris/internal/hose"
+)
+
+// PairDelta records how one DC pair's circuit assignment changed between
+// two allocations. It carries absolute before/after values rather than
+// signed deltas so that a sequence of PairDeltas composes by assignment:
+// replaying them in order against any starting allocation reproduces the
+// final one exactly (see ApplyDeltas), which is what lets the history
+// lake reconstruct the live allocation from records alone.
+type PairDelta struct {
+	A           int `json:"a"`
+	B           int `json:"b"`
+	OldFibers   int `json:"old_fibers"`
+	NewFibers   int `json:"new_fibers"`
+	OldResidual int `json:"old_residual"`
+	NewResidual int `json:"new_residual"`
+}
+
+// Pair returns the canonical DC pair the delta is about.
+func (d PairDelta) Pair() hose.Pair { return hose.Pair{A: d.A, B: d.B}.Canonical() }
+
+// DiffAlloc returns the per-pair changes from oldA to newA, in
+// deterministic pair order. Unlike Diff (which reports only fiber moves,
+// the unit of reconfiguration work), DiffAlloc also reports residual-
+// wavelength changes, because the history lake needs enough to reproduce
+// the allocation, not just the work done.
+func DiffAlloc(oldA, newA Allocation) []PairDelta {
+	pairSet := make(map[hose.Pair]bool)
+	for p := range oldA.Fibers {
+		pairSet[p] = true
+	}
+	for p := range newA.Fibers {
+		pairSet[p] = true
+	}
+	for p := range oldA.Residual {
+		pairSet[p] = true
+	}
+	for p := range newA.Residual {
+		pairSet[p] = true
+	}
+	pairs := make([]hose.Pair, 0, len(pairSet))
+	for p := range pairSet {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+
+	var deltas []PairDelta
+	for _, p := range pairs {
+		d := PairDelta{
+			A: p.A, B: p.B,
+			OldFibers:   oldA.Fibers[p],
+			NewFibers:   newA.Fibers[p],
+			OldResidual: oldA.Residual[p],
+			NewResidual: newA.Residual[p],
+		}
+		if d.OldFibers == d.NewFibers && d.OldResidual == d.NewResidual {
+			continue
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// ApplyDeltas applies pair deltas to an allocation, returning a new
+// allocation; the input is not modified. Entries that go to zero are
+// deleted, matching how the live books drop drained pairs, so composing
+// every record's deltas from an empty allocation yields a map-equal copy
+// of the live one.
+func ApplyDeltas(a Allocation, deltas []PairDelta) Allocation {
+	out := Allocation{
+		Fibers:   make(map[hose.Pair]int, len(a.Fibers)+len(deltas)),
+		Residual: make(map[hose.Pair]int, len(a.Residual)+len(deltas)),
+	}
+	for p, v := range a.Fibers {
+		out.Fibers[p] = v
+	}
+	for p, v := range a.Residual {
+		out.Residual[p] = v
+	}
+	for _, d := range deltas {
+		p := d.Pair()
+		if d.NewFibers == 0 && d.NewResidual == 0 {
+			delete(out.Fibers, p)
+			delete(out.Residual, p)
+			continue
+		}
+		out.Fibers[p] = d.NewFibers
+		out.Residual[p] = d.NewResidual
+	}
+	for p, v := range out.Fibers {
+		if v == 0 && out.Residual[p] == 0 {
+			delete(out.Fibers, p)
+			delete(out.Residual, p)
+		}
+	}
+	return out
+}
+
+// DuctDelta is the physical-layer view of a reconfiguration: how one
+// duct's occupancy moved — full fiber-pairs in service and residual-fiber
+// users. Signed; zero-change ducts are omitted.
+type DuctDelta struct {
+	Duct     int `json:"duct"`
+	Fibers   int `json:"fibers"`
+	Residual int `json:"residual"`
+}
+
+// DuctDeltas projects pair deltas onto the ducts their planned paths
+// ride, using the same occupancy accounting as the live books: full
+// fibers skip ducts covered by the pair's cut-through (those ride the
+// dedicated cut-through fiber), and residual occupancy counts duct users,
+// not wavelengths. Pairs with no planned path (drained unknowns) are
+// skipped. Results are sorted by duct ID.
+func (d *Deployment) DuctDeltas(deltas []PairDelta) []DuctDelta {
+	byDuct := make(map[int]*DuctDelta)
+	touch := func(duct int) *DuctDelta {
+		dd := byDuct[duct]
+		if dd == nil {
+			dd = &DuctDelta{Duct: duct}
+			byDuct[duct] = dd
+		}
+		return dd
+	}
+	for _, pd := range deltas {
+		info, ok := d.Plan.Paths[pd.Pair()]
+		if !ok {
+			continue
+		}
+		fullDiff := pd.NewFibers - pd.OldFibers
+		resDiff := 0
+		if pd.OldResidual > 0 {
+			resDiff--
+		}
+		if pd.NewResidual > 0 {
+			resDiff++
+		}
+		if fullDiff == 0 && resDiff == 0 {
+			continue
+		}
+		for _, duct := range info.Ducts {
+			if fullDiff != 0 && !inSortedInts(info.CutDucts, duct) {
+				touch(duct).Fibers += fullDiff
+			}
+			if resDiff != 0 {
+				touch(duct).Residual += resDiff
+			}
+		}
+	}
+	out := make([]DuctDelta, 0, len(byDuct))
+	for _, dd := range byDuct {
+		if dd.Fibers == 0 && dd.Residual == 0 {
+			continue
+		}
+		out = append(out, *dd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duct < out[j].Duct })
+	return out
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+func allocOf(entries ...[4]int) Allocation {
+	a := Allocation{Fibers: map[hose.Pair]int{}, Residual: map[hose.Pair]int{}}
+	for _, e := range entries {
+		p := hose.Pair{A: e[0], B: e[1]}.Canonical()
+		if e[2] != 0 {
+			a.Fibers[p] = e[2]
+		}
+		if e[3] != 0 {
+			a.Residual[p] = e[3]
+		}
+	}
+	return a
+}
+
+func TestDiffAllocReportsResidualOnlyChanges(t *testing.T) {
+	oldA := allocOf([4]int{2, 4, 1, 10})
+	newA := allocOf([4]int{2, 4, 1, 25})
+	got := DiffAlloc(oldA, newA)
+	want := []PairDelta{{A: 2, B: 4, OldFibers: 1, NewFibers: 1, OldResidual: 10, NewResidual: 25}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DiffAlloc = %+v, want %+v", got, want)
+	}
+}
+
+func TestDiffAllocDeterministicOrderAndOmitsUnchanged(t *testing.T) {
+	oldA := allocOf([4]int{2, 3, 1, 0}, [4]int{4, 5, 2, 7}, [4]int{2, 5, 3, 3})
+	newA := allocOf([4]int{2, 3, 2, 0}, [4]int{4, 5, 2, 7}, [4]int{2, 5, 0, 1})
+	got := DiffAlloc(oldA, newA)
+	if len(got) != 2 {
+		t.Fatalf("want 2 deltas, got %+v", got)
+	}
+	if got[0].Pair() != (hose.Pair{A: 2, B: 3}) || got[1].Pair() != (hose.Pair{A: 2, B: 5}) {
+		t.Fatalf("order: %+v", got)
+	}
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(DiffAlloc(oldA, newA), got) {
+			t.Fatal("DiffAlloc is not deterministic")
+		}
+	}
+}
+
+func TestDiffAllocCoversDrainedAndNewPairs(t *testing.T) {
+	oldA := allocOf([4]int{2, 3, 1, 5})
+	newA := allocOf([4]int{4, 5, 0, 9})
+	got := DiffAlloc(oldA, newA)
+	want := []PairDelta{
+		{A: 2, B: 3, OldFibers: 1, OldResidual: 5},
+		{A: 4, B: 5, NewResidual: 9},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DiffAlloc = %+v, want %+v", got, want)
+	}
+}
+
+// TestApplyDeltasComposes is the property the history lake depends on:
+// replaying each step's deltas in order from an empty allocation
+// reproduces the final allocation exactly.
+func TestApplyDeltasComposes(t *testing.T) {
+	steps := []Allocation{
+		allocOf([4]int{2, 3, 1, 5}),
+		allocOf([4]int{2, 3, 2, 0}, [4]int{2, 4, 0, 9}),
+		allocOf([4]int{2, 4, 1, 1}),
+		allocOf(), // full drain
+		allocOf([4]int{3, 5, 4, 2}),
+	}
+	replayed := allocOf()
+	prev := allocOf()
+	for i, cur := range steps {
+		replayed = ApplyDeltas(replayed, DiffAlloc(prev, cur))
+		if !replayed.Equal(cur) {
+			t.Fatalf("step %d: replayed %+v != live %+v", i, replayed, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestApplyDeltasDoesNotMutateInput(t *testing.T) {
+	base := allocOf([4]int{2, 3, 1, 5})
+	_ = ApplyDeltas(base, []PairDelta{{A: 2, B: 3, NewFibers: 7}})
+	if base.Fibers[hose.Pair{A: 2, B: 3}] != 1 {
+		t.Fatal("ApplyDeltas mutated its input")
+	}
+}
+
+// TestDuctDeltasMatchesLiveBooks checks the projection against the real
+// occupancy accounting: apply a demand shift through AllocateDelta, diff
+// the before/after duct books, and require DuctDeltas over the pair
+// deltas to say the same thing.
+func TestDuctDeltasMatchesLiveBooks(t *testing.T) {
+	region, r := toyRegion()
+	dep, err := Plan(region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewMatrix(region.Map.DCs())
+	m.Set(hose.Pair{A: r.DC1, B: r.DC3}, 100) // 2 fibers + residual, crosses the hub duct
+	m.Set(hose.Pair{A: r.DC1, B: r.DC2}, 80)  // 2 fibers, hub-local
+	st, err := dep.AllocateState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Snapshot()
+	booksBefore := map[int][2]int{}
+	for duct, f := range st.fibersByDuct {
+		booksBefore[duct] = [2]int{f, st.residualByDuct[duct]}
+	}
+
+	delta := traffic.NewDelta()
+	delta.Changes[hose.Pair{A: r.DC1, B: r.DC3}.Canonical()] = 40 // 1 fiber, no residual
+	delta.Changes[hose.Pair{A: r.DC2, B: r.DC4}.Canonical()] = 10 // new residual-only pair
+	if _, _, err := dep.AllocateDelta(st, delta); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Snapshot()
+
+	got := dep.DuctDeltas(DiffAlloc(before, after))
+	var want []DuctDelta
+	seen := map[int]bool{}
+	for duct := range st.fibersByDuct {
+		seen[duct] = true
+	}
+	for duct := range st.residualByDuct {
+		seen[duct] = true
+	}
+	for duct := range booksBefore {
+		seen[duct] = true
+	}
+	for duct := range seen {
+		dd := DuctDelta{
+			Duct:     duct,
+			Fibers:   st.fibersByDuct[duct] - booksBefore[duct][0],
+			Residual: st.residualByDuct[duct] - booksBefore[duct][1],
+		}
+		if dd.Fibers != 0 || dd.Residual != 0 {
+			want = append(want, dd)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("test shift produced no duct changes; pick a bigger delta")
+	}
+	sortDuctDeltas(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DuctDeltas = %+v, live books say %+v", got, want)
+	}
+}
+
+func sortDuctDeltas(s []DuctDelta) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Duct < s[j-1].Duct; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestDuctDeltasSkipsUnplannedPairs(t *testing.T) {
+	region, _ := toyRegion()
+	dep, err := Plan(region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dep.DuctDeltas([]PairDelta{{A: 97, B: 99, NewFibers: 3}})
+	if len(got) != 0 {
+		t.Fatalf("unplanned pair produced duct deltas: %+v", got)
+	}
+}

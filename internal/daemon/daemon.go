@@ -38,6 +38,7 @@ import (
 	"iris/internal/core"
 	"iris/internal/fabric"
 	"iris/internal/flowsim"
+	"iris/internal/history"
 	"iris/internal/telemetry"
 	"iris/internal/trace"
 	"iris/internal/traffic"
@@ -95,6 +96,11 @@ type Config struct {
 	// flow_impact. Register it on the same Registry as the daemon's
 	// metrics so one scrape carries both.
 	FlowMonitor *flowsim.Monitor
+	// History, when set, receives one record per committed convergence and
+	// repair pass — the reconfiguration history lake served on
+	// /api/history. Chaos cycles append their own records through
+	// chaos.CycleConfig.History.
+	History *history.Lake
 }
 
 // Daemon is the regional control loop. Construct with New, drive with Run
@@ -432,6 +438,15 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 		return nil
 	}
 
+	// Bracket the reconfiguration for the history lake: pre-state now, the
+	// record once the commit (and its closing audit) has finished so its
+	// span capture includes the whole trace.
+	recordAt := d.now()
+	var preHealth history.Health
+	if d.cfg.History != nil {
+		preHealth = d.healthBrief()
+	}
+
 	id := d.nextTraceID()
 	log := d.log.With("reconfig_id", id)
 	root := d.tracer.Start(id, "reconfig")
@@ -510,6 +525,8 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	err = d.runAudit(ctx, id)
 	root.Fail(err)
 	root.Finish()
+	d.recordHistory(history.TriggerConverge, id, recordAt, preHealth,
+		hoseAgg(last), hoseAgg(tm), lkg, alloc, dep, err)
 	return err
 }
 
@@ -519,15 +536,25 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 // fetches and reconfiguration phases are journaled like a convergence.
 func (d *Daemon) repair() error {
 	d.mu.Lock()
-	fab := d.fab
+	fab, lkg, last := d.fab, d.lkg, d.lastMatrix
 	d.mu.Unlock()
 
+	recordAt := d.now()
+	var preHealth history.Health
+	if d.cfg.History != nil {
+		preHealth = d.healthBrief()
+	}
 	id := d.nextTraceID()
 	root := d.tracer.Start(id, "repair")
 	ctx := trace.ContextWith(context.Background(), root)
 	err := d.repairIn(ctx, id, fab)
 	root.Fail(err)
 	root.Finish()
+	// A repair restores intent rather than changing it, so the record's
+	// allocation diff is empty; what it documents is the health transition
+	// and the reconciliation's span tree.
+	d.recordHistory(history.TriggerRepair, id, recordAt, preHealth,
+		hoseAgg(last), hoseAgg(last), lkg, lkg, fab.Deployment(), err)
 	return err
 }
 

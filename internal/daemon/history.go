@@ -1,0 +1,113 @@
+package daemon
+
+import (
+	"time"
+
+	"iris/internal/core"
+	"iris/internal/history"
+	"iris/internal/hose"
+	"iris/internal/topoapi"
+	"iris/internal/trace"
+	"iris/internal/traffic"
+)
+
+// History returns the daemon's reconfiguration history lake (nil when
+// none was configured).
+func (d *Daemon) History() *history.Lake { return d.cfg.History }
+
+// CommittedAlloc returns the last-known-good allocation the devices are
+// serving (ok=false before the first convergence). The allocation is a
+// committed snapshot — the incremental allocator mutates its own books,
+// never this value — so callers may read it without copying.
+func (d *Daemon) CommittedAlloc() (core.Allocation, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lkg, d.haveLKG
+}
+
+// HistoryBooks supplies the committed allocation and the hose aggregate
+// of the demand it serves — the pre/post bracket a chaos cycle records.
+// It satisfies chaos.CycleConfig.Books.
+func (d *Daemon) HistoryBooks() (core.Allocation, history.HoseAggregate) {
+	d.mu.Lock()
+	lkg, last := d.lkg, d.lastMatrix
+	d.mu.Unlock()
+	return lkg, hoseAgg(last)
+}
+
+// healthBrief reduces the daemon's status to the health triple history
+// records bracket reconfigurations with.
+func (d *Daemon) healthBrief() history.Health {
+	st := d.Status()
+	return history.Health{Healthy: st.Healthy, Converged: st.Converged, NeedRepair: st.NeedRepair}
+}
+
+// hoseAgg summarises a demand matrix for a history record (zero for nil,
+// the state before the first convergence).
+func hoseAgg(m *traffic.Matrix) history.HoseAggregate {
+	var agg history.HoseAggregate
+	if m == nil {
+		return agg
+	}
+	for _, dm := range m.Demand {
+		if dm <= 0 {
+			continue
+		}
+		agg.Total += dm
+		agg.Pairs++
+		if dm > agg.MaxPair {
+			agg.MaxPair = dm
+		}
+	}
+	return agg
+}
+
+// recordHistory appends one record to the history lake (no-op without
+// one). Call it after the operation's root span has finished so the
+// captured Spans include the complete trace.
+func (d *Daemon) recordHistory(trig history.Trigger, id uint64, at time.Time,
+	preHealth history.Health, preHose, postHose history.HoseAggregate,
+	oldAlloc, newAlloc core.Allocation, dep *core.Deployment, opErr error) {
+	if d.cfg.History == nil {
+		return
+	}
+	rec := history.Record{
+		ReconfigID: id,
+		Trigger:    trig,
+		At:         at,
+		Duration:   d.now().Sub(at),
+		PreHealth:  preHealth,
+		PostHealth: d.healthBrief(),
+		PreHose:    preHose,
+		PostHose:   postHose,
+		Pairs:      core.DiffAlloc(oldAlloc, newAlloc),
+		Spans:      d.tracer.Events(trace.Filter{TraceID: id}),
+	}
+	rec.Ducts = dep.DuctDeltas(rec.Pairs)
+	if opErr != nil {
+		rec.Err = opErr.Error()
+	}
+	d.cfg.History.Append(rec)
+}
+
+// topoSnapshot is the topology API's view of the region: the committed
+// deployment, allocation and demand. The allocation is the immutable
+// last-known-good snapshot; the demand map is copied because the traffic
+// evolver mutates matrices in place.
+func (d *Daemon) topoSnapshot() topoapi.Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := topoapi.Snapshot{Dep: d.fab.Deployment(), Ready: d.haveLKG}
+	if d.haveLKG {
+		snap.Alloc = d.lkg
+	}
+	if d.lastMatrix != nil {
+		snap.Demand = make(map[hose.Pair]float64, len(d.lastMatrix.Demand))
+		for p, dm := range d.lastMatrix.Demand {
+			if dm > 0 {
+				snap.Demand[p] = dm
+			}
+		}
+	}
+	return snap
+}

@@ -10,6 +10,7 @@ import (
 	"iris/internal/chaos"
 	"iris/internal/flowsim"
 	"iris/internal/hose"
+	"iris/internal/topoapi"
 	"iris/internal/trace"
 )
 
@@ -187,12 +188,18 @@ func (d *Daemon) DebugEvents(reconfigID uint64) EventsDump {
 //	GET /status        — Status as JSON
 //	GET /healthz       — 200 while healthy and repaired, 503 while degraded
 //	GET /debug/events  — flight-recorder dump; ?reconfig=<id> filters to one
-//	                     trace and includes its assembled span tree
+//	                     trace and includes its assembled span tree (404
+//	                     for unknown reconfig IDs)
 //	GET /debug/trace   — last-N span trees (?n=, default 5), oldest first
+//
+// The topology intelligence API (/api/paths, /api/critical, /api/whatif,
+// /api/history — see package topoapi) is mounted on the same mux.
 //
 // When a chaos injector is configured, /debug/chaos additionally serves
 // its snapshot (GET) and accepts fault injections (POST) — see
-// chaos.Injector.Handler.
+// chaos.Injector.Handler — and POST /debug/chaos/cycle drives one full
+// failure-recovery cycle synchronously, recording it in the history
+// lake.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
@@ -200,6 +207,11 @@ func (d *Daemon) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
+	}
+	jsonError := func(w http.ResponseWriter, code int, msg string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -228,7 +240,12 @@ func (d *Daemon) Handler() http.Handler {
 			}
 			id = parsed
 		}
-		writeJSON(w, d.DebugEvents(id))
+		dump := d.DebugEvents(id)
+		if id != 0 && len(dump.Events) == 0 {
+			jsonError(w, http.StatusNotFound, "no events for reconfig "+strconv.FormatUint(id, 10))
+			return
+		}
+		writeJSON(w, dump)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		n := 5
@@ -248,6 +265,55 @@ func (d *Daemon) Handler() http.Handler {
 	})
 	if d.cfg.Chaos != nil {
 		mux.Handle("/debug/chaos", d.cfg.Chaos.Handler())
+		mux.HandleFunc("/debug/chaos/cycle", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				jsonError(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			q := r.URL.Query()
+			d.mu.Lock()
+			m := d.fab.Deployment().Region.Map
+			d.mu.Unlock()
+			var sc chaos.Scenario
+			var err error
+			if spec := q.Get("scenario"); spec != "" {
+				sc, err = chaos.ParseScenario(m, spec)
+			} else {
+				sc, err = chaos.ScenarioFromQuery(m, q)
+			}
+			if err != nil {
+				jsonError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			timeout := 30 * time.Second
+			if v := q.Get("timeout"); v != "" {
+				parsed, err := time.ParseDuration(v)
+				if err != nil || parsed <= 0 {
+					jsonError(w, http.StatusBadRequest, "bad timeout")
+					return
+				}
+				timeout = parsed
+			}
+			// Hold the settle phase open until a reconfiguration has
+			// committed after the fault was injected: LastReconfigID only
+			// moves on a real allocation change, so the recorded cycle's
+			// diff is never empty by accident of timing.
+			startID := d.Status().LastReconfigID
+			res, err := d.cfg.Chaos.RunCycle(chaos.CycleConfig{
+				Scenario:    sc,
+				CP:          d,
+				Timeout:     timeout,
+				History:     d.cfg.History,
+				Books:       d.HistoryBooks,
+				SettleExtra: func() bool { return d.Status().LastReconfigID != startID },
+			})
+			if err != nil {
+				jsonError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			writeJSON(w, res)
+		})
 	}
+	topoapi.New(topoapi.Config{State: d.topoSnapshot, Lake: d.cfg.History}).Register(mux)
 	return mux
 }

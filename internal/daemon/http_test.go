@@ -1,0 +1,112 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// getJSONError asserts a request fails with the given status and a JSON
+// {"error": ...} body, returning the error message.
+func getJSONError(t *testing.T, res *http.Response, wantCode int) string {
+	t.Helper()
+	defer res.Body.Close()
+	if res.StatusCode != wantCode {
+		t.Fatalf("status = %d, want %d", res.StatusCode, wantCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("error content-type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if body.Error == "" {
+		t.Fatal("JSON error body has empty error field")
+	}
+	return body.Error
+}
+
+// TestDebugEventsUnknownReconfig pins the /debug/events contract: a known
+// reconfig ID returns its span dump, an unknown one a 404 with a JSON
+// error body rather than an empty 200 dump.
+func TestDebugEventsUnknownReconfig(t *testing.T) {
+	h := newHistoryRig(t, [][2]float64{{60, 45}})
+	h.d.ProbeOnce()
+	h.d.Step()
+	srv := httptest.NewServer(h.d.Handler())
+	defer srv.Close()
+
+	id := h.d.Status().LastReconfigID
+	if id == 0 {
+		t.Fatal("no committed reconfiguration")
+	}
+	res, err := srv.Client().Get(srv.URL + "/debug/events?reconfig=" + strconv.FormatUint(id, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump EventsDump
+	if res.StatusCode != 200 {
+		t.Fatalf("known reconfig returned %d", res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(dump.Events) == 0 || len(dump.Tree) == 0 {
+		t.Fatalf("known reconfig dump empty: %d events, %d roots", len(dump.Events), len(dump.Tree))
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/debug/events?reconfig=999999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := getJSONError(t, res, http.StatusNotFound)
+	if !strings.Contains(msg, "999999999") {
+		t.Fatalf("404 body does not name the missing reconfig: %q", msg)
+	}
+
+	// The unfiltered firehose dump stays a 200 even when empty of the
+	// requested trace.
+	res, err = srv.Client().Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("unfiltered dump returned %d", res.StatusCode)
+	}
+}
+
+// TestChaosCycleEndpointValidation covers /debug/chaos/cycle's error
+// paths: wrong method, unparsable scenario, bad timeout.
+func TestChaosCycleEndpointValidation(t *testing.T) {
+	h := newHistoryRig(t, [][2]float64{{60, 45}})
+	h.d.ProbeOnce()
+	h.d.Step()
+	srv := httptest.NewServer(h.d.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/debug/chaos/cycle?scenario=cut:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getJSONError(t, res, http.StatusMethodNotAllowed)
+
+	res, err = srv.Client().Post(srv.URL+"/debug/chaos/cycle?scenario=bogus:9", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getJSONError(t, res, http.StatusBadRequest)
+
+	res, err = srv.Client().Post(srv.URL+"/debug/chaos/cycle?scenario=cut:0&timeout=nope", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getJSONError(t, res, http.StatusBadRequest)
+}

@@ -11,6 +11,7 @@ import (
 	"iris/internal/control"
 	"iris/internal/fabric"
 	"iris/internal/flowsim"
+	"iris/internal/history"
 	"iris/internal/optics"
 	"iris/internal/telemetry"
 	"iris/internal/trace"
@@ -44,6 +45,9 @@ type Region interface {
 	// Registry is the region's instance-scoped metrics registry, merged
 	// region-labelled into the fleet-wide /metrics scrape.
 	Registry() *telemetry.Registry
+	// History is the region's reconfiguration history lake, aggregated by
+	// the fleet's /api/history (nil when the region keeps no history).
+	History() *history.Lake
 }
 
 // Daemon must satisfy the Region lifecycle it was factored from.
@@ -131,6 +135,12 @@ type RegionConfig struct {
 
 	// TraceEvents sizes the region's flight recorder (0 disables tracing).
 	TraceEvents int
+	// HistoryRecords bounds the reconfiguration history lake (0 selects
+	// the lake's default of 512; negative disables history entirely).
+	HistoryRecords int
+	// HistoryPath, when non-empty, persists history records as JSONL and
+	// replays the file's tail on bring-up.
+	HistoryPath string
 	// Chaos wraps every device in a fault shim and arms a live injector.
 	Chaos bool
 
@@ -159,20 +169,21 @@ type RegionConfig struct {
 // on, chaos and flow monitoring off.
 func DefaultRegionConfig() RegionConfig {
 	return RegionConfig{
-		Toy:           true,
-		Seed:          1,
-		DCs:           5,
-		OSSDelay:      time.Duration(optics.OSSSwitchTimeMS) * time.Millisecond,
-		Interval:      2 * time.Second,
-		MaxBatch:      1,
-		ProbeInterval: time.Second,
-		ShiftBound:    0.4,
-		Util:          0.7,
-		TraceEvents:   4096,
-		FlowDist:      "web2",
-		FlowUtil:      0.6,
-		FlowWindow:    4 * time.Second,
-		FlowGbps:      0.25,
+		Toy:            true,
+		Seed:           1,
+		DCs:            5,
+		OSSDelay:       time.Duration(optics.OSSSwitchTimeMS) * time.Millisecond,
+		Interval:       2 * time.Second,
+		MaxBatch:       1,
+		ProbeInterval:  time.Second,
+		ShiftBound:     0.4,
+		Util:           0.7,
+		TraceEvents:    4096,
+		HistoryRecords: 512,
+		FlowDist:       "web2",
+		FlowUtil:       0.6,
+		FlowWindow:     4 * time.Second,
+		FlowGbps:       0.25,
 	}
 }
 
@@ -193,12 +204,19 @@ type BuiltRegion struct {
 	Shape *traffic.Shape
 	// Tracer is the region's flight recorder (nil when disabled).
 	Tracer *trace.Tracer
+	// History is the region's reconfiguration history lake (nil when
+	// disabled).
+	History *history.Lake
 	// Registry is the region's instance-scoped metrics registry.
 	Registry *telemetry.Registry
 }
 
-// Close shuts the region's emulated testbed down.
-func (b *BuiltRegion) Close() { b.Rig.Close() }
+// Close shuts the region's emulated testbed down and flushes the history
+// lake's persistence file.
+func (b *BuiltRegion) Close() {
+	b.Rig.Close()
+	_ = b.History.Close()
+}
 
 // BuildRegion assembles one region end to end: plan and materialise the
 // fabric (optionally behind chaos fault shims), build the seeded evolving
@@ -279,6 +297,17 @@ func BuildRegion(cfg RegionConfig) (*BuiltRegion, error) {
 			return fail(err)
 		}
 	}
+	var lake *history.Lake
+	if cfg.HistoryRecords >= 0 {
+		lake, err = history.New(history.Config{
+			Capacity: cfg.HistoryRecords,
+			Path:     cfg.HistoryPath,
+			Registry: reg,
+		})
+		if err != nil {
+			return fail(err)
+		}
+	}
 	var mon *flowsim.Monitor
 	if cfg.FlowLoad {
 		dist, ok := traffic.WorkloadByName(cfg.FlowDist)
@@ -314,6 +343,7 @@ func BuildRegion(cfg RegionConfig) (*BuiltRegion, error) {
 		Tracer:           tracer,
 		Chaos:            inj,
 		FlowMonitor:      mon,
+		History:          lake,
 	})
 	if err != nil {
 		return fail(err)
@@ -327,6 +357,7 @@ func BuildRegion(cfg RegionConfig) (*BuiltRegion, error) {
 		Monitor:  mon,
 		Shape:    shape,
 		Tracer:   tracer,
+		History:  lake,
 		Registry: reg,
 	}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"iris/internal/history"
 	"iris/internal/telemetry"
 )
 
@@ -19,6 +20,8 @@ import (
 //	GET  /healthz        — 200 while every region is healthy, 503 with
 //	                       the unhealthy region ids otherwise
 //	GET  /demand         — latest bus samples plus the skew report
+//	GET  /api/history    — per-region reconfiguration history summaries
+//	                       (?n= bounds rows per region, default 10)
 //	POST /chaos          — run a correlated storm: ?k=2&seed=7&cuts=1
 //	                       [&region=r003&region=r007] [&timeout=30s];
 //	                       blocks until every cycle completes and
@@ -69,6 +72,25 @@ func (f *Fleet) Handler() http.Handler {
 			Samples []DemandSample `json:"samples"`
 		}{f.bus.Skew(), f.bus.Snapshot()})
 	})
+	mux.HandleFunc("/api/history", func(w http.ResponseWriter, r *http.Request) {
+		n, err := intParam(r, "n", 10)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := make([]RegionHistory, 0, len(f.members))
+		for _, m := range f.members {
+			row := RegionHistory{Region: m.id}
+			if lake := m.r.History(); lake != nil {
+				row.Enabled = true
+				row.Total = lake.Len()
+				row.Evicted = lake.Evicted()
+				row.Records = lake.Summaries(n)
+			}
+			out = append(out, row)
+		}
+		writeJSON(w, out)
+	})
 	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -109,6 +131,17 @@ func (f *Fleet) Handler() http.Handler {
 		http.StripPrefix("/regions/"+id, m.r.Handler()).ServeHTTP(w, r)
 	})
 	return mux
+}
+
+// RegionHistory is one region's row in the fleet /api/history listing.
+// The full per-record detail (span trees, alloc diffs) lives on the
+// region's own surface: /regions/{id}/api/history/{reconfig_id}.
+type RegionHistory struct {
+	Region  string            `json:"region"`
+	Enabled bool              `json:"enabled"`
+	Total   int               `json:"total"`
+	Evicted int               `json:"evicted"`
+	Records []history.Summary `json:"records,omitempty"`
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"iris/internal/daemon"
+	"iris/internal/history"
 	"iris/internal/telemetry"
 )
 
@@ -45,6 +46,7 @@ func (f *fakeRegion) RepairNow(context.Context) error { return nil }
 func (f *fakeRegion) Status() daemon.Status           { return daemon.Status{Healthy: f.healthy.Load()} }
 func (f *fakeRegion) Registry() *telemetry.Registry   { return f.reg }
 func (f *fakeRegion) Handler() http.Handler           { return http.NotFoundHandler() }
+func (f *fakeRegion) History() *history.Lake          { return nil }
 func (f *fakeRegion) Demand() (daemon.DemandSummary, bool) {
 	return daemon.DemandSummary{Total: 10}, true
 }

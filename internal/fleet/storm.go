@@ -60,13 +60,18 @@ func (f *Fleet) RunChaosCycle(id string, sc chaos.Scenario, opt CycleOptions) (*
 	sp.SetDevice(id)
 	sp.SetAttr(sc.Name)
 	f.log.Info("chaos cycle start", "region", id, "scenario", sc.Name)
-	res, err := m.built.Injector.RunCycle(chaos.CycleConfig{
+	cc := chaos.CycleConfig{
 		Scenario:     sc,
 		CP:           m.r,
 		Pump:         pump,
 		PollInterval: poll,
 		Timeout:      opt.Timeout,
-	})
+		History:      m.r.History(),
+	}
+	if m.built.Daemon != nil {
+		cc.Books = m.built.Daemon.HistoryBooks
+	}
+	res, err := m.built.Injector.RunCycle(cc)
 	if err != nil {
 		f.chaosFailures.Inc()
 		sp.Fail(err)

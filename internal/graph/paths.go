@@ -1,0 +1,217 @@
+package graph
+
+import "sort"
+
+// Path is one loopless route between two nodes: the node sequence, the
+// edges walked (parallel edges are distinguished by ID), and the total
+// weight.
+type Path struct {
+	Nodes []int
+	Edges []Edge
+	Dist  float64
+}
+
+// samePath reports whether two paths walk the same edge sequence.
+func samePath(a, b Path) bool {
+	if len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i].ID != b.Edges[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// lessPath orders candidate paths deterministically: by distance (within
+// the Dijkstra epsilon), then by hop count, then lexicographically by
+// node sequence, then by edge-ID sequence — the same spirit as the
+// deterministic tie-breaking inside Dijkstra itself.
+func lessPath(a, b Path) bool {
+	const eps = 1e-9
+	switch {
+	case a.Dist < b.Dist-eps:
+		return true
+	case a.Dist > b.Dist+eps:
+		return false
+	}
+	if len(a.Edges) != len(b.Edges) {
+		return len(a.Edges) < len(b.Edges)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i].ID != b.Edges[i].ID {
+			return a.Edges[i].ID < b.Edges[i].ID
+		}
+	}
+	return false
+}
+
+// KShortestPaths returns up to k loopless shortest paths from one node to
+// another, best first, using Yen's algorithm over the graph's
+// deterministic Dijkstra. Fewer than k paths are returned when the graph
+// does not admit them. Results are fully deterministic: ties between
+// equal-length paths are broken by hop count, then node sequence, then
+// edge IDs.
+//
+// Each spur step materialises a derived graph via WithoutEdges, so the
+// cost is O(k · n · Dijkstra) — fine for region-scale fiber maps, which
+// have tens of ducts.
+func (g *Graph) KShortestPaths(from, to, k int) []Path {
+	if k <= 0 || from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return nil
+	}
+	t := g.Dijkstra(from)
+	nodes, edges, ok := t.PathTo(to)
+	if !ok {
+		return nil
+	}
+	if from == to {
+		return []Path{{Nodes: []int{from}, Dist: 0}}
+	}
+	paths := []Path{{Nodes: nodes, Edges: edges, Dist: t.Dist[to]}}
+	var candidates []Path
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootEdges := prev.Edges[:i]
+
+			removed := make(map[int]bool)
+			// Any accepted path sharing the root prefix must not be
+			// rediscovered: remove the edge each one takes out of the spur.
+			for _, p := range paths {
+				if len(p.Edges) <= i {
+					continue
+				}
+				match := true
+				for j := 0; j <= i; j++ {
+					if p.Nodes[j] != rootNodes[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					removed[p.Edges[i].ID] = true
+				}
+			}
+			// Looplessness: the spur path must not revisit a root node, so
+			// every edge incident to the root prefix (spur excluded) goes.
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				g.Neighbors(n, func(e Edge) { removed[e.ID] = true })
+			}
+
+			st := g.WithoutEdges(removed).Dijkstra(spur)
+			sn, se, ok := st.PathTo(to)
+			if !ok {
+				continue
+			}
+			cand := Path{
+				Nodes: append(append(make([]int, 0, len(rootNodes)+len(sn)-1), rootNodes...), sn[1:]...),
+				Edges: append(append(make([]Edge, 0, len(rootEdges)+len(se)), rootEdges...), se...),
+			}
+			for _, e := range cand.Edges {
+				cand.Dist += e.W
+			}
+			dup := false
+			for _, p := range paths {
+				if samePath(p, cand) {
+					dup = true
+					break
+				}
+			}
+			for _, p := range candidates {
+				if dup {
+					break
+				}
+				if samePath(p, cand) {
+					dup = true
+				}
+			}
+			if !dup {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if lessPath(candidates[i], candidates[best]) {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+// Bridges returns the IDs of the bridge edges — edges whose removal
+// disconnects their component — sorted ascending. The graph is a
+// multigraph: a parallel edge between the same endpoints means neither
+// copy is a bridge, which the one-pass Tarjan lowlink walk below handles
+// by skipping only the specific edge instance used to enter a node (not
+// every edge back to the parent). Self-loops are never bridges.
+func (g *Graph) Bridges() []int {
+	disc := make([]int, g.n)
+	low := make([]int, g.n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var bridges []int
+	timer := 0
+	type frame struct {
+		node      int
+		parentIdx int // index into g.edges of the edge used to enter node
+		next      int // next position in g.adj[node] to scan
+	}
+	for s := 0; s < g.n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		disc[s], low[s] = timer, timer
+		timer++
+		stack := []frame{{node: s, parentIdx: -1}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if f.next < len(g.adj[u]) {
+				idx := g.adj[u][f.next]
+				f.next++
+				if idx == f.parentIdx {
+					continue
+				}
+				v := g.edges[idx].Other(u)
+				if disc[v] == -1 {
+					disc[v], low[v] = timer, timer
+					timer++
+					stack = append(stack, frame{node: v, parentIdx: idx})
+				} else if disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			p := stack[len(stack)-1].node
+			if low[u] < low[p] {
+				low[p] = low[u]
+			}
+			if low[u] > disc[p] {
+				bridges = append(bridges, g.edges[f.parentIdx].ID)
+			}
+		}
+	}
+	sort.Ints(bridges)
+	return bridges
+}

@@ -1,0 +1,556 @@
+// Package topoapi is the region's topology intelligence API: the
+// operator-facing query surface mounted on irisd (and proxied per region
+// by irisfleet) that answers, against the live fabric,
+//
+//	GET /api/paths?from=&to=&k=     k-shortest duct paths with per-hop fiber occupancy
+//	GET /api/critical?k=            ducts ranked by the hose demand their loss strands
+//	GET /api/whatif?scenario=       survivability audit of a hypothetical failure
+//	GET /api/history                reconfiguration history (the history lake)
+//	GET /api/history/{reconfig_id}  one record with span tree and alloc diff
+//	GET /api/history/diff?from=&to= net topology change between two reconfigs
+//
+// The server owns no state: a Config.State callback snapshots the
+// daemon's committed deployment, allocation and demand on every request,
+// and Config.Lake is the history store the daemon and chaos cycles
+// append to. Derived machinery (base graph, survivability auditor) is
+// cached per deployment pointer, so steady-state queries never re-plan.
+package topoapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iris/internal/chaos"
+	"iris/internal/core"
+	"iris/internal/graph"
+	"iris/internal/history"
+	"iris/internal/hose"
+	"iris/internal/plan"
+	"iris/internal/trace"
+)
+
+// Snapshot is the daemon state one request is answered against. Alloc
+// and Demand must be safe for the server to read (committed immutable
+// snapshots or copies); Dep is the deployment they belong to.
+type Snapshot struct {
+	Dep    *core.Deployment
+	Alloc  core.Allocation
+	Demand map[hose.Pair]float64
+	// Ready is false until the daemon has committed a first allocation;
+	// topology queries answer 503 until then.
+	Ready bool
+}
+
+// Config wires a Server to its region.
+type Config struct {
+	// State snapshots the live region; required.
+	State func() Snapshot
+	// Lake is the reconfiguration history store; nil serves the history
+	// endpoints as 404 "history disabled".
+	Lake *history.Lake
+}
+
+// Server answers topology intelligence queries. Safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	dep     *core.Deployment // deployment the cached tools were built for
+	base    *graph.Graph
+	auditor *chaos.Auditor
+}
+
+// New returns a server for the given region wiring.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg}
+}
+
+// Register mounts the API endpoints on a mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/api/paths", s.handlePaths)
+	mux.HandleFunc("/api/critical", s.handleCritical)
+	mux.HandleFunc("/api/whatif", s.handleWhatIf)
+	mux.HandleFunc("/api/history", s.handleHistory)
+	mux.HandleFunc("/api/history/", s.handleHistoryItem)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// jsonError writes a JSON error body, so API consumers never have to
+// sniff between payloads and plain-text errors.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// snapshot fetches the live state, handling not-ready and non-GET.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (Snapshot, bool) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return Snapshot{}, false
+	}
+	snap := s.cfg.State()
+	if !snap.Ready || snap.Dep == nil {
+		jsonError(w, http.StatusServiceUnavailable, "region has not committed an allocation yet")
+		return Snapshot{}, false
+	}
+	return snap, true
+}
+
+// tools returns the base graph and auditor for a deployment, rebuilding
+// the cache when the deployment pointer changes (a replan swaps it).
+func (s *Server) tools(dep *core.Deployment) (*graph.Graph, *chaos.Auditor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dep != dep {
+		base := dep.Plan.Input.Base
+		if base == nil {
+			base = plan.BaseGraph(dep.Region.Map)
+		}
+		s.base = base
+		s.auditor = chaos.NewAuditor(dep.Plan)
+		s.dep = dep
+	}
+	return s.base, s.auditor
+}
+
+func intQuery(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// inSorted reports membership in a small ascending slice (cut-duct lists
+// hold a handful of entries).
+func inSorted(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+		if x > v {
+			return false
+		}
+	}
+	return false
+}
+
+// occupancy derives per-duct fiber usage from an allocation, mirroring
+// the live books' accounting: full fibers skip ducts covered by the
+// pair's cut-through, residual counts duct users.
+func occupancy(dep *core.Deployment, alloc core.Allocation) (fibers, residual map[int]int) {
+	fibers = make(map[int]int)
+	residual = make(map[int]int)
+	pairs := make(map[hose.Pair]bool, len(alloc.Fibers))
+	for p := range alloc.Fibers {
+		pairs[p] = true
+	}
+	for p := range alloc.Residual {
+		pairs[p] = true
+	}
+	for p := range pairs {
+		info, ok := dep.Plan.Paths[p]
+		if !ok {
+			continue
+		}
+		full, rem := alloc.Fibers[p], alloc.Residual[p]
+		for _, duct := range info.Ducts {
+			if full != 0 && !inSorted(info.CutDucts, duct) {
+				fibers[duct] += full
+			}
+			if rem > 0 {
+				residual[duct]++
+			}
+		}
+	}
+	return fibers, residual
+}
+
+// Hop is one duct of a reported path, with its live fiber occupancy.
+type Hop struct {
+	Duct             int     `json:"duct"`
+	From             int     `json:"from"`
+	To               int     `json:"to"`
+	KM               float64 `json:"km"`
+	ProvisionedPairs int     `json:"provisioned_pairs"`
+	UsedFibers       int     `json:"used_fibers"`
+	ResidualUsers    int     `json:"residual_users"`
+	FreePairs        int     `json:"free_pairs"`
+}
+
+// PathOut is one k-shortest path.
+type PathOut struct {
+	Nodes []int    `json:"nodes"`
+	Names []string `json:"names"`
+	KM    float64  `json:"km"`
+	Hops  []Hop    `json:"hops"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	m := snap.Dep.Region.Map
+	q := r.URL.Query()
+	from, errF := intQuery(q, "from", -1)
+	to, errT := intQuery(q, "to", -1)
+	if errF != nil || errT != nil || from < 0 || from >= len(m.Nodes) || to < 0 || to >= len(m.Nodes) {
+		jsonError(w, http.StatusBadRequest, "paths needs from= and to= node IDs in [0,%d)", len(m.Nodes))
+		return
+	}
+	k, err := intQuery(q, "k", 3)
+	if err != nil || k <= 0 {
+		jsonError(w, http.StatusBadRequest, "bad k")
+		return
+	}
+	if k > 16 {
+		k = 16
+	}
+	base, _ := s.tools(snap.Dep)
+	fibers, residual := occupancy(snap.Dep, snap.Alloc)
+	paths := base.KShortestPaths(from, to, k)
+	out := make([]PathOut, 0, len(paths))
+	for _, p := range paths {
+		po := PathOut{Nodes: p.Nodes, KM: p.Dist, Hops: make([]Hop, 0, len(p.Edges))}
+		for _, n := range p.Nodes {
+			po.Names = append(po.Names, m.Nodes[n].Name)
+		}
+		for i, e := range p.Edges {
+			prov := 0
+			if du := snap.Dep.Plan.Ducts[e.ID]; du != nil {
+				prov = du.TotalPairs()
+			}
+			base := 0
+			if du := snap.Dep.Plan.Ducts[e.ID]; du != nil {
+				base = du.BasePairs
+			}
+			po.Hops = append(po.Hops, Hop{
+				Duct:             e.ID,
+				From:             p.Nodes[i],
+				To:               p.Nodes[i+1],
+				KM:               e.W,
+				ProvisionedPairs: prov,
+				UsedFibers:       fibers[e.ID],
+				ResidualUsers:    residual[e.ID],
+				FreePairs:        base - fibers[e.ID],
+			})
+		}
+		out = append(out, po)
+	}
+	writeJSON(w, map[string]any{"from": from, "to": to, "k": k, "paths": out})
+}
+
+// CriticalDuct is one duct of the criticality ranking.
+type CriticalDuct struct {
+	Duct int     `json:"duct"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	KM   float64 `json:"km"`
+	// Bridge: removing this duct alone disconnects the base graph.
+	Bridge bool `json:"bridge"`
+	// StrandedDemand is the worst hose demand (wavelengths) stranded by
+	// any examined ≤k cut set containing this duct.
+	StrandedDemand float64 `json:"stranded_demand"`
+	// SoloStranded is the demand stranded when only this duct is cut.
+	SoloStranded float64 `json:"solo_stranded"`
+	// MinCutPairs counts live DC pairs whose max-flow min cut crosses
+	// this duct — pairs this duct bottlenecks.
+	MinCutPairs int `json:"min_cut_pairs"`
+}
+
+// strandedDemand sums the demand of pairs split across components of the
+// degraded graph.
+func strandedDemand(base *graph.Graph, cut map[int]bool, demand map[hose.Pair]float64) float64 {
+	comps := base.WithoutEdges(cut).Components()
+	total := 0.0
+	for p, d := range demand {
+		if comps[p.A] != comps[p.B] {
+			total += d
+		}
+	}
+	return total
+}
+
+func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	k, err := intQuery(r.URL.Query(), "k", 2)
+	if err != nil || k <= 0 {
+		jsonError(w, http.StatusBadRequest, "bad k")
+		return
+	}
+	if k > 3 {
+		k = 3 // exhaustive enumeration; deeper cuts explode combinatorially
+	}
+	base, _ := s.tools(snap.Dep)
+	m := snap.Dep.Region.Map
+
+	ids := make([]int, 0, base.NumEdges())
+	rows := make(map[int]*CriticalDuct, base.NumEdges())
+	for _, e := range base.Edges() {
+		ids = append(ids, e.ID)
+		rows[e.ID] = &CriticalDuct{Duct: e.ID, From: e.U, To: e.V, KM: e.W}
+	}
+	for _, id := range base.Bridges() {
+		rows[id].Bridge = true
+	}
+
+	// Exhaustive ≤k cut audit: attribute each cut set's stranded demand
+	// to every member duct (worst case per duct).
+	graph.FailureScenarios(ids, k, func(cut map[int]bool) {
+		if len(cut) == 0 {
+			return
+		}
+		stranded := strandedDemand(base, cut, snap.Demand)
+		if stranded == 0 {
+			return
+		}
+		for id := range cut {
+			row := rows[id]
+			if stranded > row.StrandedDemand {
+				row.StrandedDemand = stranded
+			}
+			if len(cut) == 1 {
+				row.SoloStranded = stranded
+			}
+		}
+	})
+
+	// Min-cut membership per live DC pair, over the provisioned fiber
+	// (base + cut-through + residual, the same capacities the
+	// survivability auditor flows over).
+	capByDuct := make(map[int]int, len(snap.Dep.Plan.Ducts))
+	for id, du := range snap.Dep.Plan.Ducts {
+		capByDuct[id] = du.TotalPairs()
+	}
+	pairs := make([]hose.Pair, 0, len(snap.Demand))
+	for p, d := range snap.Demand {
+		if d > 0 {
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	if len(pairs) > 0 {
+		f := graph.NewFlowNetwork(len(m.Nodes))
+		for _, id := range ids {
+			total := capByDuct[id]
+			if total == 0 {
+				continue
+			}
+			d := m.Ducts[id]
+			f.AddArc(d.A, d.B, float64(total))
+			f.AddArc(d.B, d.A, float64(total))
+		}
+		for i, p := range pairs {
+			if i > 0 {
+				f.Reset()
+			}
+			f.MaxFlow(p.A, p.B)
+			seen := f.MinCutReachable(p.A)
+			for _, id := range ids {
+				if capByDuct[id] == 0 {
+					continue
+				}
+				d := m.Ducts[id]
+				if seen[d.A] != seen[d.B] {
+					rows[id].MinCutPairs++
+				}
+			}
+		}
+	}
+
+	out := make([]CriticalDuct, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.StrandedDemand != b.StrandedDemand {
+			return a.StrandedDemand > b.StrandedDemand
+		}
+		if a.SoloStranded != b.SoloStranded {
+			return a.SoloStranded > b.SoloStranded
+		}
+		if a.MinCutPairs != b.MinCutPairs {
+			return a.MinCutPairs > b.MinCutPairs
+		}
+		return a.Duct < b.Duct
+	})
+	writeJSON(w, map[string]any{"k": k, "ducts": out})
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	m := snap.Dep.Region.Map
+	q := r.URL.Query()
+	var sc chaos.Scenario
+	var err error
+	if spec := q.Get("scenario"); spec != "" {
+		sc, err = chaos.ParseScenario(m, spec)
+	} else if q.Get("kind") != "" {
+		sc, err = chaos.ScenarioFromQuery(m, q)
+	} else {
+		jsonError(w, http.StatusBadRequest, "whatif needs scenario= (e.g. cut:3,7) or kind= parameters")
+		return
+	}
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	base, auditor := s.tools(snap.Dep)
+	res := auditor.Audit(sc)
+	writeJSON(w, map[string]any{
+		"scenario":        sc,
+		"result":          res,
+		"stranded_demand": strandedDemand(base, sc.CutSet(), snap.Demand),
+	})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Lake == nil {
+		jsonError(w, http.StatusNotFound, "history disabled")
+		return
+	}
+	n, err := intQuery(r.URL.Query(), "n", 0)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad n")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"total":   s.cfg.Lake.Len(),
+		"evicted": s.cfg.Lake.Evicted(),
+		"records": s.cfg.Lake.Summaries(n),
+	})
+}
+
+func (s *Server) handleHistoryItem(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Lake == nil {
+		jsonError(w, http.StatusNotFound, "history disabled")
+		return
+	}
+	suffix := strings.TrimPrefix(r.URL.Path, "/api/history/")
+	if suffix == "diff" {
+		s.handleHistoryDiff(w, r)
+		return
+	}
+	id, err := strconv.ParseUint(suffix, 10, 64)
+	if err != nil || id == 0 {
+		jsonError(w, http.StatusBadRequest, "bad reconfig id %q", suffix)
+		return
+	}
+	rec, ok := s.cfg.Lake.Get(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no history record for reconfig %d", id)
+		return
+	}
+	writeJSON(w, map[string]any{"record": rec, "tree": trace.Tree(rec.Spans)})
+}
+
+func (s *Server) handleHistoryDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fromID, errF := strconv.ParseUint(q.Get("from"), 10, 64)
+	toID, errT := strconv.ParseUint(q.Get("to"), 10, 64)
+	if errF != nil || errT != nil {
+		jsonError(w, http.StatusBadRequest, "diff needs from= and to= reconfig IDs")
+		return
+	}
+	fromRec, okF := s.cfg.Lake.Get(fromID)
+	toRec, okT := s.cfg.Lake.Get(toID)
+	if !okF || !okT {
+		missing := fromID
+		if okF {
+			missing = toID
+		}
+		jsonError(w, http.StatusNotFound, "no history record for reconfig %d", missing)
+		return
+	}
+	if fromRec.Seq > toRec.Seq {
+		jsonError(w, http.StatusBadRequest, "reconfig %d (seq %d) is later than %d (seq %d)",
+			fromID, fromRec.Seq, toID, toRec.Seq)
+		return
+	}
+
+	// Net change across (from, to]: compose each pair's earliest Old with
+	// its latest New, in Seq order.
+	type bounds struct{ old, new core.PairDelta }
+	net := make(map[hose.Pair]*bounds)
+	var reconfigs []uint64
+	for _, rec := range s.cfg.Lake.Records() {
+		if rec.Seq <= fromRec.Seq || rec.Seq > toRec.Seq {
+			continue
+		}
+		reconfigs = append(reconfigs, rec.ReconfigID)
+		for _, pd := range rec.Pairs {
+			b := net[pd.Pair()]
+			if b == nil {
+				net[pd.Pair()] = &bounds{old: pd, new: pd}
+				continue
+			}
+			b.new = pd
+		}
+	}
+	pairs := make([]core.PairDelta, 0, len(net))
+	for _, b := range net {
+		pd := core.PairDelta{
+			A: b.old.A, B: b.old.B,
+			OldFibers: b.old.OldFibers, OldResidual: b.old.OldResidual,
+			NewFibers: b.new.NewFibers, NewResidual: b.new.NewResidual,
+		}
+		if pd.OldFibers == pd.NewFibers && pd.OldResidual == pd.NewResidual {
+			continue
+		}
+		pairs = append(pairs, pd)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	resp := map[string]any{
+		"from":      fromID,
+		"to":        toID,
+		"reconfigs": reconfigs,
+		"pairs":     pairs,
+	}
+	if snap := s.cfg.State(); snap.Ready && snap.Dep != nil {
+		resp["ducts"] = snap.Dep.DuctDeltas(pairs)
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,267 @@
+package topoapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iris/internal/core"
+	"iris/internal/history"
+	"iris/internal/hose"
+	"iris/internal/plan"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.State == nil {
+		cfg.State = func() Snapshot { return Snapshot{} } // region not ready
+	}
+	mux := http.NewServeMux()
+	New(cfg).Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// checkJSONError asserts the response carries the given status and a
+// JSON {"error": ...} body, returning the message.
+func checkJSONError(t *testing.T, res *http.Response, wantCode int) string {
+	t.Helper()
+	defer res.Body.Close()
+	if res.StatusCode != wantCode {
+		t.Fatalf("status = %d, want %d", res.StatusCode, wantCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content-type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatalf("body is not JSON: %v", err)
+	}
+	if body.Error == "" {
+		t.Fatal("empty error field")
+	}
+	return body.Error
+}
+
+// TestNotReady: every topology query answers 503 with a JSON error until
+// the region commits a first allocation.
+func TestNotReady(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	for _, path := range []string{
+		"/api/paths?from=0&to=1",
+		"/api/critical",
+		"/api/whatif?scenario=cut:0",
+	} {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkJSONError(t, res, http.StatusServiceUnavailable)
+	}
+}
+
+// TestMethodNotAllowed: the API is read-only.
+func TestMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	for _, path := range []string{"/api/paths", "/api/critical", "/api/whatif", "/api/history", "/api/history/1"} {
+		res, err := srv.Client().Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkJSONError(t, res, http.StatusMethodNotAllowed)
+	}
+}
+
+// TestHistoryDisabled: without a lake the history endpoints are 404, not
+// a crash or an empty listing.
+func TestHistoryDisabled(t *testing.T) {
+	srv := newTestServer(t, Config{Lake: nil})
+	for _, path := range []string{"/api/history", "/api/history/7", "/api/history/diff?from=1&to=2"} {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := checkJSONError(t, res, http.StatusNotFound)
+		if !strings.Contains(msg, "disabled") {
+			t.Fatalf("%s: error %q does not say history is disabled", path, msg)
+		}
+	}
+}
+
+// seedLake appends n records with simple one-pair diffs, reconfig IDs
+// 101, 102, ...
+func seedLake(t *testing.T, n int) *history.Lake {
+	t.Helper()
+	lake, err := history.New(history.Config{Capacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		lake.Append(history.Record{
+			ReconfigID: uint64(101 + i),
+			Trigger:    history.TriggerConverge,
+			At:         time.Date(2026, 1, 1, 0, i, 0, 0, time.UTC),
+			Pairs: []core.PairDelta{{
+				A: 2, B: 3,
+				OldFibers: i, NewFibers: i + 1,
+			}},
+		})
+	}
+	return lake
+}
+
+// TestHistoryEndpoints exercises the lake-backed listing, item and diff
+// endpoints without a deployment (the ducts projection needs one; the
+// pair diffs do not).
+func TestHistoryEndpoints(t *testing.T) {
+	srv := newTestServer(t, Config{Lake: seedLake(t, 3)})
+
+	var listing struct {
+		Total   int               `json:"total"`
+		Evicted int               `json:"evicted"`
+		Records []history.Summary `json:"records"`
+	}
+	res, err := srv.Client().Get(srv.URL + "/api/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if listing.Total != 3 || len(listing.Records) != 3 {
+		t.Fatalf("listing total=%d len=%d, want 3", listing.Total, len(listing.Records))
+	}
+	if listing.Records[0].ReconfigID != 101 || listing.Records[2].ReconfigID != 103 {
+		t.Fatalf("listing not in Seq order: %+v", listing.Records)
+	}
+
+	// ?n= limits to the most recent rows.
+	res, err = srv.Client().Get(srv.URL + "/api/history?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(listing.Records) != 1 || listing.Records[0].ReconfigID != 103 {
+		t.Fatalf("n=1 listing wrong: %+v", listing.Records)
+	}
+
+	// Item fetch round-trips the record.
+	var item struct {
+		Record history.Record `json:"record"`
+	}
+	res, err = srv.Client().Get(srv.URL + "/api/history/102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&item); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if item.Record.ReconfigID != 102 || len(item.Record.Pairs) != 1 {
+		t.Fatalf("item fetch wrong: %+v", item.Record)
+	}
+
+	// Unknown ID and malformed ID.
+	res, _ = srv.Client().Get(srv.URL + "/api/history/999")
+	checkJSONError(t, res, http.StatusNotFound)
+	res, _ = srv.Client().Get(srv.URL + "/api/history/xyz")
+	checkJSONError(t, res, http.StatusBadRequest)
+
+	// Diff composes the net change over (from, to]: 101→103 nets the
+	// pair's earliest Old (1) against its latest New (3).
+	var diff struct {
+		Reconfigs []uint64         `json:"reconfigs"`
+		Pairs     []core.PairDelta `json:"pairs"`
+	}
+	res, err = srv.Client().Get(srv.URL + "/api/history/diff?from=101&to=103")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&diff); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(diff.Reconfigs) != 2 || diff.Reconfigs[0] != 102 || diff.Reconfigs[1] != 103 {
+		t.Fatalf("diff reconfigs = %v, want [102 103]", diff.Reconfigs)
+	}
+	if len(diff.Pairs) != 1 {
+		t.Fatalf("diff pairs = %+v, want one net delta", diff.Pairs)
+	}
+	if pd := diff.Pairs[0]; pd.OldFibers != 1 || pd.NewFibers != 3 {
+		t.Fatalf("net delta %+v, want old=1 new=3", pd)
+	}
+
+	// Reversed order is a 400, missing endpoint a 404.
+	res, _ = srv.Client().Get(srv.URL + "/api/history/diff?from=103&to=101")
+	checkJSONError(t, res, http.StatusBadRequest)
+	res, _ = srv.Client().Get(srv.URL + "/api/history/diff?from=101&to=999")
+	checkJSONError(t, res, http.StatusNotFound)
+	res, _ = srv.Client().Get(srv.URL + "/api/history/diff?from=101")
+	checkJSONError(t, res, http.StatusBadRequest)
+}
+
+// TestDiffIdentity: from == to spans no records and nets no change.
+func TestDiffIdentity(t *testing.T) {
+	srv := newTestServer(t, Config{Lake: seedLake(t, 2)})
+	var diff struct {
+		Reconfigs []uint64         `json:"reconfigs"`
+		Pairs     []core.PairDelta `json:"pairs"`
+	}
+	res, err := srv.Client().Get(srv.URL + "/api/history/diff?from=101&to=101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("identity diff = %d, want 200", res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&diff); err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Reconfigs) != 0 || len(diff.Pairs) != 0 {
+		t.Fatalf("identity diff not empty: %+v", diff)
+	}
+}
+
+// TestOccupancyAccounting pins the duct-occupancy projection against the
+// books' accounting rules: full fibers skip cut-through ducts, residual
+// counts users not wavelengths.
+func TestOccupancyAccounting(t *testing.T) {
+	dep := &core.Deployment{
+		Plan: &plan.Plan{
+			Paths: map[hose.Pair]*plan.PathInfo{
+				{A: 2, B: 3}: {Ducts: []int{0, 4, 1}, CutDucts: []int{4}},
+				{A: 2, B: 4}: {Ducts: []int{0, 2}},
+			},
+		},
+	}
+	alloc := core.Allocation{
+		Fibers: map[hose.Pair]int{
+			{A: 2, B: 3}: 2,
+			{A: 2, B: 4}: 1,
+		},
+		Residual: map[hose.Pair]int{
+			{A: 2, B: 3}: 5, // 5 wavelengths = 1 user per duct
+		},
+	}
+	fibers, residual := occupancy(dep, alloc)
+	if fibers[0] != 3 || fibers[1] != 2 || fibers[2] != 1 {
+		t.Fatalf("fiber occupancy wrong: %v", fibers)
+	}
+	if fibers[4] != 0 {
+		t.Fatalf("cut-through duct 4 counted full fibers: %v", fibers)
+	}
+	if residual[0] != 1 || residual[4] != 1 || residual[1] != 1 || residual[2] != 0 {
+		t.Fatalf("residual occupancy wrong: %v", residual)
+	}
+}

@@ -52,7 +52,9 @@ import (
 	"iris/internal/fibermap"
 	"iris/internal/fleet"
 	"iris/internal/flowsim"
+	"iris/internal/history"
 	"iris/internal/hose"
+	"iris/internal/topoapi"
 	"iris/internal/traffic"
 )
 
@@ -183,6 +185,33 @@ type (
 	DemandSummary = daemon.DemandSummary
 )
 
+// Reconfiguration-history and topology-intelligence types
+// (internal/history, internal/topoapi). The lake is an append-only
+// bounded record of every committed reconfiguration; the topology API
+// serves path, criticality, what-if and history queries over a live
+// region (irisd's /api/* endpoints).
+type (
+	// HistoryLake stores the last N reconfiguration records; wire into
+	// DaemonConfig.History and query via Records/Summaries/Get.
+	HistoryLake = history.Lake
+	// HistoryConfig parameterises the lake (capacity, JSONL journal).
+	HistoryConfig = history.Config
+	// HistoryRecord is one committed reconfiguration: trigger, health
+	// and hose brackets, allocation diff, span tree.
+	HistoryRecord = history.Record
+	// HistorySummary is the listing row for one record.
+	HistorySummary = history.Summary
+	// PairDelta is one DC pair's absolute old→new allocation change;
+	// compose windows of them with core.ApplyDeltas.
+	PairDelta = core.PairDelta
+	// TopoAPIConfig wires the topology API to a region's snapshot,
+	// graph and history lake.
+	TopoAPIConfig = topoapi.Config
+	// TopoAPI serves /api/paths, /api/critical, /api/whatif and
+	// /api/history*; construct with NewTopoAPI, mount with Register.
+	TopoAPI = topoapi.Server
+)
+
 // Multi-region fleet types (internal/fleet).
 type (
 	// FleetConfig parameterises the multi-region fleet supervisor.
@@ -240,6 +269,13 @@ func Plan(region Region, opts Options) (*Deployment, error) { return core.Plan(r
 
 // Diff returns the circuit moves between two allocations.
 func Diff(oldA, newA Allocation) []Move { return core.Diff(oldA, newA) }
+
+// NewHistory opens a reconfiguration history lake.
+func NewHistory(cfg HistoryConfig) (*HistoryLake, error) { return history.New(cfg) }
+
+// NewTopoAPI builds the topology-intelligence query server; mount it on
+// a mux with Register.
+func NewTopoAPI(cfg TopoAPIConfig) *TopoAPI { return topoapi.New(cfg) }
 
 // DefaultCatalog returns the paper's §3.3 component prices.
 func DefaultCatalog() Catalog { return cost.Default() }

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# benchdelta.sh prints a compact ns/op delta table between two bench
+# artifacts produced by benchjson.sh:
+#
+#   scripts/benchdelta.sh bench-prev.json BENCH_<sha>.json
+#
+# Rows present only in the new artifact are marked "new", rows that
+# disappeared are marked "gone". A missing previous artifact is not an
+# error — the first run of a branch has no baseline.
+set -eu
+
+prev="${1:?usage: benchdelta.sh PREV.json NEW.json}"
+new="${2:?usage: benchdelta.sh PREV.json NEW.json}"
+
+if [ ! -f "$prev" ]; then
+  echo "benchdelta: no previous artifact at $prev — baseline run, nothing to compare"
+  exit 0
+fi
+
+# benchjson.sh emits one result object per line; pull "name ns_per_op"
+# pairs out of each artifact.
+extract() {
+  sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.eE+-]*\).*/\1 \2/p' "$1"
+}
+
+prev_pairs=$(extract "$prev")
+new_pairs=$(extract "$new")
+
+prev_sha=$(sed -n 's/.*"commit": "\([^"]*\)".*/\1/p' "$prev" | head -1)
+echo "benchdelta: vs previous run ${prev_sha:-unknown} (1x smoke runs; treat small deltas as noise)"
+
+printf '%s\n' "$prev_pairs" | awk -v newlist="$new_pairs" '
+{ prev[$1] = $2 }
+END {
+  n = split(newlist, lines, "\n")
+  printf "%-58s %14s %14s %9s\n", "benchmark", "prev ns/op", "new ns/op", "delta"
+  for (i = 1; i <= n; i++) {
+    split(lines[i], f, " ")
+    name = f[1]; val = f[2]
+    if (name == "") continue
+    seen[name] = 1
+    if (name in prev && prev[name] + 0 > 0) {
+      d = (val - prev[name]) / prev[name] * 100
+      printf "%-58s %14.0f %14.0f %+8.1f%%\n", name, prev[name], val, d
+    } else {
+      printf "%-58s %14s %14.0f %9s\n", name, "-", val, "new"
+    }
+  }
+  for (name in prev)
+    if (!(name in seen))
+      printf "%-58s %14.0f %14s %9s\n", name, prev[name], "-", "gone"
+}'
