@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	irisbench [-exp all|fig3|fig6|fig7|toy|fig9|fig12|fig14|fig17|fig18|appa|appb|chaos] [-full]
+//	irisbench [-exp all|<name>|sweep] [-full]
+//
+// Run irisbench -exp list (or any unknown name) to see every registered
+// experiment; the set is derived from the experiment table, not a
+// hand-maintained string, so a new experiment registers itself into the
+// usage text.
 //
 // The -full flag runs the Fig. 12 sweep at the paper's scale (240
 // scenarios, 2-failure tolerance; several minutes). Without it a reduced
@@ -33,14 +38,190 @@ func fatal(msg string, err error) {
 	os.Exit(1)
 }
 
+// experiment is one runnable entry of the table; the -exp usage text and
+// the unknown-name error are both derived from the table, so registering
+// an experiment here is the single step that exposes it everywhere.
+type experiment struct {
+	name string
+	run  func() (string, error)
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig5, fig6, fig7, toy, fig9, fig12, fig14, fig17, fig17r, fig18, appa, appb, central, clos, wss, load, chaos)")
 		full     = flag.Bool("full", false, "run the Fig. 12 sweep at full paper scale (240 scenarios)")
 		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial; rows are identical at every setting")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
+
+	// The Fig. 12 cost sweep feeds three experiments; memoize it so
+	// "-exp all" (and the "sweep" alias) plans the grid once.
+	var (
+		sweepRows []experiments.SweepRow
+		sweepDone bool
+	)
+	sweep := func() ([]experiments.SweepRow, error) {
+		if sweepDone {
+			return sweepRows, nil
+		}
+		cfg := experiments.QuickSweep()
+		label := "quick 24-scenario grid, 1-failure tolerance"
+		if *full {
+			cfg = experiments.PaperSweep()
+			label = "full 240-scenario grid, 2-failure tolerance"
+		}
+		cfg.Parallelism = *parallel
+		t0 := time.Now()
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("[cost sweep: %s, %d scenarios in %v]\n\n",
+			label, len(rows), time.Since(t0).Round(time.Millisecond))
+		sweepRows, sweepDone = rows, true
+		return rows, nil
+	}
+
+	table := []experiment{
+		{"fig2", func() (string, error) {
+			return experiments.FormatFig2(experiments.Fig2()), nil
+		}},
+		{"fig3", func() (string, error) {
+			res, err := experiments.Fig3(experiments.DefaultFig3())
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig6", func() (string, error) {
+			res, err := experiments.Fig6(experiments.DefaultFig6())
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig5", func() (string, error) {
+			near, far, err := experiments.Fig5(experiments.DefaultFig5())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig5(near, far), nil
+		}},
+		{"fig7", func() (string, error) {
+			return experiments.FormatFig7(experiments.Fig7()), nil
+		}},
+		{"toy", func() (string, error) {
+			res, err := experiments.Toy()
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig9", func() (string, error) {
+			return experiments.FormatFig9(experiments.Fig9()), nil
+		}},
+		{"fig12", func() (string, error) {
+			rows, err := sweep()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig12(experiments.ExtractRatios(rows)), nil
+		}},
+		{"appa", func() (string, error) {
+			rows, err := sweep()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatAppendixA(experiments.ExtractRatios(rows)), nil
+		}},
+		{"appb", func() (string, error) {
+			rows, err := sweep()
+			if err != nil {
+				return "", err
+			}
+			return experiments.AppendixB(rows).Format(), nil
+		}},
+		{"fig14", func() (string, error) {
+			res, err := experiments.Fig14(experiments.DefaultFig14())
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig17", func() (string, error) {
+			points, err := experiments.Fig17(experiments.DefaultFig17())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig17(points), nil
+		}},
+		{"fig17r", func() (string, error) {
+			points, err := experiments.Fig17Region(experiments.DefaultFig17Region())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig17Region(points), nil
+		}},
+		{"fig18", func() (string, error) {
+			points, err := experiments.Fig18(experiments.DefaultFig18())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig18(points), nil
+		}},
+		{"central", func() (string, error) {
+			rows, err := experiments.CentralVsDistributed(experiments.DefaultCentral())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatCentral(rows), nil
+		}},
+		{"clos", func() (string, error) {
+			rows, err := experiments.ClosAblation(experiments.DefaultClos())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatClos(rows), nil
+		}},
+		{"wss", func() (string, error) {
+			rows, err := experiments.WSSAblation(experiments.DefaultWSS())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatWSS(rows), nil
+		}},
+		{"load", func() (string, error) {
+			rows, err := experiments.LoadSweep(experiments.DefaultLoadSweep())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatLoadSweep(rows), nil
+		}},
+		{"robust", func() (string, error) {
+			rows, err := experiments.RobustAblation(experiments.DefaultRobustAblation())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatRobustAblation(rows), nil
+		}},
+		{"chaos", func() (string, error) {
+			cfg := experiments.DefaultSurvivability()
+			cfg.Parallelism = *parallel
+			res, err := experiments.Survivability(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+	}
+
+	names := make([]string, len(table))
+	for i, e := range table {
+		names[i] = e.name
+	}
+	// The usage line is assembled from the table so it cannot go stale.
+	exp := flag.String("exp", "all",
+		"experiment to run (all, sweep = fig12+appa+appb, or one of: "+strings.Join(names, ", ")+")")
 	flag.Parse()
 
 	var err error
@@ -62,160 +243,23 @@ func main() {
 		return false
 	}
 	ran := 0
-	run := func(name string, fn func() (string, error)) {
-		if !wants(name) {
-			return
+	for _, e := range table {
+		if !wants(e.name) {
+			continue
 		}
 		ran++
 		t0 := time.Now()
-		out, err := fn()
+		out, err := e.run()
 		if err != nil {
-			fatal(name+" failed", err)
+			fatal(e.name+" failed", err)
 		}
 		fmt.Println(strings.TrimRight(out, "\n"))
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 	}
-
-	run("fig2", func() (string, error) {
-		return experiments.FormatFig2(experiments.Fig2()), nil
-	})
-	run("fig3", func() (string, error) {
-		res, err := experiments.Fig3(experiments.DefaultFig3())
-		if err != nil {
-			return "", err
-		}
-		return res.Format(), nil
-	})
-	run("fig6", func() (string, error) {
-		res, err := experiments.Fig6(experiments.DefaultFig6())
-		if err != nil {
-			return "", err
-		}
-		return res.Format(), nil
-	})
-	run("fig5", func() (string, error) {
-		near, far, err := experiments.Fig5(experiments.DefaultFig5())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig5(near, far), nil
-	})
-	run("fig7", func() (string, error) {
-		return experiments.FormatFig7(experiments.Fig7()), nil
-	})
-	run("toy", func() (string, error) {
-		res, err := experiments.Toy()
-		if err != nil {
-			return "", err
-		}
-		return res.Format(), nil
-	})
-	run("fig9", func() (string, error) {
-		return experiments.FormatFig9(experiments.Fig9()), nil
-	})
-
-	// The three sweep-based experiments share one sweep.
-	if wants("fig12") || wants("appa") || wants("appb") {
-		cfg := experiments.QuickSweep()
-		label := "quick 24-scenario grid, 1-failure tolerance"
-		if *full {
-			cfg = experiments.PaperSweep()
-			label = "full 240-scenario grid, 2-failure tolerance"
-		}
-		cfg.Parallelism = *parallel
-		t0 := time.Now()
-		rows, err := experiments.Sweep(cfg)
-		if err != nil {
-			fatal("sweep failed", err)
-		}
-		fmt.Printf("[cost sweep: %s, %d scenarios in %v]\n\n",
-			label, len(rows), time.Since(t0).Round(time.Millisecond))
-		ratios := experiments.ExtractRatios(rows)
-		if wants("fig12") {
-			ran++
-			fmt.Println(strings.TrimRight(experiments.FormatFig12(ratios), "\n"))
-			fmt.Println()
-		}
-		if wants("appa") {
-			ran++
-			fmt.Println(strings.TrimRight(experiments.FormatAppendixA(ratios), "\n"))
-			fmt.Println()
-		}
-		if wants("appb") {
-			ran++
-			fmt.Println(strings.TrimRight(experiments.AppendixB(rows).Format(), "\n"))
-			fmt.Println()
-		}
-	}
-
-	run("fig14", func() (string, error) {
-		res, err := experiments.Fig14(experiments.DefaultFig14())
-		if err != nil {
-			return "", err
-		}
-		return res.Format(), nil
-	})
-	run("fig17", func() (string, error) {
-		points, err := experiments.Fig17(experiments.DefaultFig17())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig17(points), nil
-	})
-	run("fig17r", func() (string, error) {
-		points, err := experiments.Fig17Region(experiments.DefaultFig17Region())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig17Region(points), nil
-	})
-	run("fig18", func() (string, error) {
-		points, err := experiments.Fig18(experiments.DefaultFig18())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig18(points), nil
-	})
-	run("central", func() (string, error) {
-		rows, err := experiments.CentralVsDistributed(experiments.DefaultCentral())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatCentral(rows), nil
-	})
-	run("clos", func() (string, error) {
-		rows, err := experiments.ClosAblation(experiments.DefaultClos())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatClos(rows), nil
-	})
-	run("wss", func() (string, error) {
-		rows, err := experiments.WSSAblation(experiments.DefaultWSS())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatWSS(rows), nil
-	})
-	run("load", func() (string, error) {
-		rows, err := experiments.LoadSweep(experiments.DefaultLoadSweep())
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatLoadSweep(rows), nil
-	})
-	run("chaos", func() (string, error) {
-		cfg := experiments.DefaultSurvivability()
-		cfg.Parallelism = *parallel
-		res, err := experiments.Survivability(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Format(), nil
-	})
 
 	if ran == 0 {
-		logger.Error("unknown experiment", "exp", *exp)
+		logger.Error("unknown experiment", "exp", *exp,
+			"known", "all, sweep, "+strings.Join(names, ", "))
 		os.Exit(1)
 	}
 }

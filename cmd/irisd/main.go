@@ -15,7 +15,10 @@
 //	      [-listen 127.0.0.1:9090] [-interval 2s] [-probe-interval 1s]
 //	      [-steps N] [-shift-bound 0.4] [-util 0.7]
 //	      [-flow-load] [-flow-dist web2] [-flow-util 0.6] [-flow-window 4s]
-//	      [-flow-gbps-per-wl 0.25] [-diurnal-amp 0.3] [-diurnal-period 5m]
+//	      [-flow-gbps-per-wl 0.25]
+//	      [-robust] [-robust-window 4] [-robust-headroom 1.15]
+//	      [-robust-forecast 2] [-robust-budget 8]
+//	      [-diurnal-amp 0.3] [-diurnal-period 5m]
 //	      [-flash-every 60s] [-flash-dur 5s] [-flash-mult 3]
 //	      [-log-level info] [-log-json] [-trace-events 4096] [-pprof] [-chaos]
 //
@@ -25,6 +28,13 @@
 // as iris_flowsim_* metrics and the flow_impact field of /status. The
 // -diurnal-* and -flash-* flags shape both the demand matrices and the
 // simulated flow arrivals.
+//
+// With -robust, the daemon runs METTEOR mode: it plans one envelope
+// allocation over the last -robust-window matrices (plus
+// -robust-forecast change-process forecasts) inflated by
+// -robust-headroom, then skips device reconfiguration while live demand
+// stays inside the committed envelope, re-planning only on escape
+// (iris_robust_* metrics, /status robust block, /api/whatif?audit=envelope).
 //
 // The whole region — fabric, feed, injector, flow monitor, daemon — is
 // assembled by daemon.BuildRegion, the same path the irisfleet supervisor
@@ -84,6 +94,12 @@ func main() {
 		flowWindow = flag.Duration("flow-window", 4*time.Second, "simulated window around each reconfiguration for -flow-load")
 		flowGbps   = flag.Float64("flow-gbps-per-wl", 0.25, "simulated Gbps per wavelength for -flow-load (slowdown is scale-free)")
 
+		robustMode     = flag.Bool("robust", false, "METTEOR mode: plan one envelope over recent matrices, reconfigure only on envelope escape")
+		robustWindow   = flag.Int("robust-window", 4, "recent matrices the robust envelope is solved over")
+		robustHeadroom = flag.Float64("robust-headroom", 1.15, "robust envelope inflation factor (≥ 1)")
+		robustForecast = flag.Int("robust-forecast", 2, "change-process forecast steps added to the robust envelope set (0 disables)")
+		robustBudget   = flag.Int("robust-budget", 8, "max solve/tighten iterations per robust envelope")
+
 		diurnalAmp    = flag.Float64("diurnal-amp", 0, "diurnal swing amplitude in [0,1) applied to traffic and -flow-load arrivals (0 disables)")
 		diurnalPeriod = flag.Duration("diurnal-period", 5*time.Minute, "diurnal period for -diurnal-amp")
 		flashEvery    = flag.Duration("flash-every", 0, "mean interval between flash-crowd onsets (0 disables)")
@@ -123,6 +139,11 @@ func main() {
 	cfg.FlowUtil = *flowUtil
 	cfg.FlowWindow = *flowWindow
 	cfg.FlowGbps = *flowGbps
+	cfg.Robust = *robustMode
+	cfg.RobustWindow = *robustWindow
+	cfg.RobustHeadroom = *robustHeadroom
+	cfg.RobustForecast = *robustForecast
+	cfg.RobustBudget = *robustBudget
 	cfg.Logger = log
 	cfg.Profile = traffic.LoadProfile{
 		DiurnalAmp: *diurnalAmp, DiurnalPeriodS: diurnalPeriod.Seconds(),
@@ -151,6 +172,10 @@ func main() {
 	}
 	if b.Monitor != nil {
 		log.Info("flow-load monitor armed", "dist", *flowDist, "util", *flowUtil)
+	}
+	if *robustMode {
+		log.Info("robust mode armed",
+			"window", *robustWindow, "headroom", *robustHeadroom, "forecast", *robustForecast)
 	}
 	d := b.Daemon
 

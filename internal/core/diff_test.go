@@ -84,6 +84,86 @@ func TestApplyDeltasComposes(t *testing.T) {
 	}
 }
 
+// TestApplyDeltasOverlappingWindows pins the composition semantics the
+// history lake depends on when several control-plane paths touch the
+// SAME pair in overlapping record windows: a converge grows 2-3, a
+// repair shrinks it and spills onto residual, a chaos cycle drains it
+// entirely and brings up a different pair. Because PairDelta carries
+// absolute after-values, replaying the three windows record by record
+// must land exactly on the final books, and so must one concatenated
+// replay (last writer wins per pair).
+func TestApplyDeltasOverlappingWindows(t *testing.T) {
+	start := allocOf([4]int{2, 3, 1, 0}, [4]int{2, 4, 0, 8})
+	afterConverge := allocOf([4]int{2, 3, 3, 2}, [4]int{2, 4, 0, 8})
+	afterRepair := allocOf([4]int{2, 3, 1, 5}, [4]int{2, 4, 1, 0})
+	afterChaos := allocOf([4]int{4, 5, 1, 3}, [4]int{2, 4, 1, 0}) // 2-3 fully drained
+
+	windows := [][]PairDelta{
+		DiffAlloc(start, afterConverge),
+		DiffAlloc(afterConverge, afterRepair),
+		DiffAlloc(afterRepair, afterChaos),
+	}
+	for i, w := range windows {
+		touches := false
+		for _, d := range w {
+			if d.Pair() == (hose.Pair{A: 2, B: 3}) {
+				touches = true
+			}
+		}
+		if !touches {
+			t.Fatalf("window %d does not touch pair 2-3; the scenario lost its overlap", i)
+		}
+	}
+
+	// Record-by-record replay from the live starting books.
+	got := start
+	for i, w := range windows {
+		got = ApplyDeltas(got, w)
+		want := []Allocation{afterConverge, afterRepair, afterChaos}[i]
+		if !got.Equal(want) {
+			t.Fatalf("after window %d: replayed %+v != live %+v", i, got, want)
+		}
+	}
+
+	// One concatenated replay: the same pair appears in all three
+	// windows, and the last delta's absolute values must win.
+	var concat []PairDelta
+	for _, w := range windows {
+		concat = append(concat, w...)
+	}
+	if got := ApplyDeltas(start, concat); !got.Equal(afterChaos) {
+		t.Fatalf("concatenated replay %+v != final books %+v", got, afterChaos)
+	}
+
+	// From-scratch replay (empty books + every window) matches too —
+	// the lake's reconstruct-from-records-alone property. The drained
+	// 2-3 pair must be deleted, not zero-valued.
+	scratch := ApplyDeltas(allocOf(), concat)
+	if !scratch.Equal(afterChaos) {
+		t.Fatalf("from-scratch replay %+v != final books %+v", scratch, afterChaos)
+	}
+	if _, ok := scratch.Fibers[hose.Pair{A: 2, B: 3}]; ok {
+		t.Error("drained pair 2-3 left a zero-valued fibers entry")
+	}
+	if _, ok := scratch.Residual[hose.Pair{A: 2, B: 3}]; ok {
+		t.Error("drained pair 2-3 left a zero-valued residual entry")
+	}
+}
+
+// TestApplyDeltasConflictingSameWindow pins last-writer-wins inside one
+// window: two deltas for the same pair (as a coalesced multi-shift step
+// would produce) — the second's absolute values are the outcome.
+func TestApplyDeltasConflictingSameWindow(t *testing.T) {
+	got := ApplyDeltas(allocOf(), []PairDelta{
+		{A: 2, B: 3, NewFibers: 5, NewResidual: 1},
+		{A: 3, B: 2, NewFibers: 2, NewResidual: 7}, // same pair, non-canonical order
+	})
+	want := allocOf([4]int{2, 3, 2, 7})
+	if !got.Equal(want) {
+		t.Fatalf("conflicting deltas: got %+v, want %+v", got, want)
+	}
+}
+
 func TestApplyDeltasDoesNotMutateInput(t *testing.T) {
 	base := allocOf([4]int{2, 3, 1, 5})
 	_ = ApplyDeltas(base, []PairDelta{{A: 2, B: 3, NewFibers: 7}})

@@ -39,6 +39,7 @@ import (
 	"iris/internal/fabric"
 	"iris/internal/flowsim"
 	"iris/internal/history"
+	"iris/internal/robust"
 	"iris/internal/telemetry"
 	"iris/internal/trace"
 	"iris/internal/traffic"
@@ -101,6 +102,11 @@ type Config struct {
 	// /api/history. Chaos cycles append their own records through
 	// chaos.CycleConfig.History.
 	History *history.Lake
+	// Robust, when set, switches the converge loop from per-shift deltas
+	// to METTEOR-style robust planning: one envelope allocation covers a
+	// window of matrices and reconfiguration is skipped while the live
+	// demand stays inside it (see internal/robust).
+	Robust *RobustPolicy
 }
 
 // Daemon is the regional control loop. Construct with New, drive with Run
@@ -118,6 +124,11 @@ type Daemon struct {
 	// live tracer's ID space is used instead, so span and trace IDs never
 	// collide between the daemon and other instrumented subsystems).
 	fallbackID atomic.Uint64
+
+	// robustWin captures the recent matrices a robust envelope is solved
+	// over (nil without a RobustPolicy). Only the converge path touches
+	// it, which Step serialises.
+	robustWin *traffic.Window
 
 	// mu guards the control-loop state below. The fabric pointed to by fab
 	// is never mutated while installed — changes are compiled on clones —
@@ -145,6 +156,12 @@ type Daemon struct {
 	// change the devices accepted — the handle for
 	// /debug/events?reconfig=<id>.
 	lastReconfigID uint64
+	// robustRes is the committed envelope solve in robust mode (nil until
+	// the first robust plan, and always nil otherwise); robustInEnvN /
+	// robustEscapeN mirror the iris_robust_* counters for /status.
+	robustRes     *robust.Result
+	robustInEnvN  uint64
+	robustEscapeN uint64
 
 	// hmu guards per-device breaker state and the jitter source.
 	hmu    sync.Mutex
@@ -178,6 +195,12 @@ type metricsSet struct {
 	staleness         *telemetry.Gauge
 	circuits          *telemetry.Gauge
 	planStageSeconds  *telemetry.HistogramVec
+	// Robust-mode series, registered only when a RobustPolicy is armed so
+	// non-robust scrapes stay clean.
+	robustInEnv    *telemetry.Counter
+	robustEscapes  *telemetry.Counter
+	robustHeadroom *telemetry.Gauge
+	robustOverprov *telemetry.Gauge
 }
 
 // latencyBuckets cover sub-millisecond emulated phases up to multi-second
@@ -208,6 +231,10 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 30 * time.Second
 	}
+	if cfg.Robust != nil {
+		pol := cfg.Robust.withDefaults()
+		cfg.Robust = &pol
+	}
 	d := &Daemon{
 		cfg:    cfg,
 		ctl:    cfg.Controller,
@@ -230,6 +257,9 @@ func New(cfg Config) (*Daemon, error) {
 	d.log = d.log.With("component", "daemon")
 	d.rng = rand.New(rand.NewSource(cfg.Seed))
 	d.health = make(map[string]*deviceHealth)
+	if cfg.Robust != nil {
+		d.robustWin = traffic.NewWindow(cfg.Robust.Window)
+	}
 	d.initMetrics()
 	for _, name := range d.ctl.Devices() {
 		d.health[name] = &deviceHealth{}
@@ -271,6 +301,12 @@ func (d *Daemon) initMetrics() {
 	d.m.staleness = r.Gauge("iris_allocation_staleness_seconds", "Age of the last successful convergence.")
 	d.m.circuits = r.Gauge("iris_circuits_active", "Active circuits (full + residual).")
 	d.m.planStageSeconds = r.HistogramVec("iris_plan_stage_seconds", "Per-stage planner latency (route, amps, cutthrough, provision, total) from Algorithm 1.", "stage", latencyBuckets)
+	if d.cfg.Robust != nil {
+		d.m.robustInEnv = r.Counter("iris_robust_in_envelope_total", "Traffic shifts absorbed by the committed envelope (reconfiguration skipped).")
+		d.m.robustEscapes = r.Counter("iris_robust_escapes_total", "Traffic shifts that escaped the committed envelope and forced a re-plan.")
+		d.m.robustHeadroom = r.Gauge("iris_robust_headroom_ratio", "Headroom factor the committed envelope was allocated at.")
+		d.m.robustOverprov = r.Gauge("iris_robust_overprovision_ratio", "Provisioned wavelengths over the envelope window's mean demand.")
+	}
 }
 
 // Registry returns the daemon's metrics registry.
@@ -388,6 +424,9 @@ func (d *Daemon) nextTraceID() uint64 {
 // change, the delta is rolled back so the books keep matching the
 // last-known-good intent the repair pass restores.
 func (d *Daemon) converge(tm *traffic.Matrix) error {
+	if d.cfg.Robust != nil {
+		return d.convergeRobust(tm)
+	}
 	d.mu.Lock()
 	fab, lkg, haveLKG := d.fab, d.lkg, d.haveLKG
 	st, last := d.allocState, d.lastMatrix
@@ -438,6 +477,29 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 		return nil
 	}
 
+	attr := fmt.Sprintf("incremental=%v pairs_resolved=%d pairs_revalidated=%d ducts_touched=%d",
+		stats.Incremental, stats.PairsResolved, stats.PairsRevalidated, stats.DuctsTouched)
+	return d.commitChange(tm, st, alloc, undo, history.TriggerConverge, attr, nil)
+}
+
+// commitChange executes the drained reconfiguration that moves the
+// devices onto alloc, transactionally against a fabric clone, and records
+// it in the history lake under trig. On success st becomes the retained
+// allocator books and tm the demand they satisfy; undo reverts the books
+// when the devices reject the change (pass the zero Undo for a freshly
+// solved state — nothing to revert). compileAttr annotates the compile
+// span; onCommit, when non-nil, runs inside the commit critical section
+// so policy state (e.g. the robust envelope) swaps atomically with the
+// fabric. It is the shared tail of the per-shift and robust converge
+// paths.
+func (d *Daemon) commitChange(tm *traffic.Matrix, st *core.AllocState, alloc core.Allocation,
+	undo core.Undo, trig history.Trigger, compileAttr string, onCommit func()) error {
+	d.mu.Lock()
+	fab, lkg, haveLKG := d.fab, d.lkg, d.haveLKG
+	last := d.lastMatrix
+	d.mu.Unlock()
+	dep := fab.Deployment()
+
 	// Bracket the reconfiguration for the history lake: pre-state now, the
 	// record once the commit (and its closing audit) has finished so its
 	// span capture includes the whole trace.
@@ -453,8 +515,7 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	ctx := trace.ContextWith(context.Background(), root)
 
 	csp := root.Child("compile")
-	csp.SetAttr(fmt.Sprintf("incremental=%v pairs_resolved=%d pairs_revalidated=%d ducts_touched=%d",
-		stats.Incremental, stats.PairsResolved, stats.PairsRevalidated, stats.DuctsTouched))
+	csp.SetAttr(compileAttr)
 	clone := fab.Clone()
 	ch, err := clone.CompileTarget(alloc)
 	if err != nil {
@@ -502,6 +563,9 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	d.pending = nil
 	d.lastGoodAt = d.now()
 	d.lastReconfigID = id
+	if onCommit != nil {
+		onCommit()
+	}
 	d.mu.Unlock()
 	d.m.circuits.Set(float64(clone.CircuitCount()))
 	log.Info("converged", "ops", ops, "total", rep.Total.Round(time.Microsecond))
@@ -525,7 +589,7 @@ func (d *Daemon) converge(tm *traffic.Matrix) error {
 	err = d.runAudit(ctx, id)
 	root.Fail(err)
 	root.Finish()
-	d.recordHistory(history.TriggerConverge, id, recordAt, preHealth,
+	d.recordHistory(trig, id, recordAt, preHealth,
 		hoseAgg(last), hoseAgg(tm), lkg, alloc, dep, err)
 	return err
 }

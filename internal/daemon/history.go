@@ -109,5 +109,8 @@ func (d *Daemon) topoSnapshot() topoapi.Snapshot {
 			}
 		}
 	}
+	if d.robustRes != nil {
+		snap.Robust = d.robustRes.Envelope
+	}
 	return snap
 }

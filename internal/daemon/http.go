@@ -46,6 +46,10 @@ type Status struct {
 	// reconfiguration or repair (absent until the flow monitor has
 	// observed one).
 	FlowImpact *flowsim.Impact `json:"flow_impact,omitempty"`
+
+	// Robust is the robust-mode envelope block (absent unless a
+	// RobustPolicy is armed).
+	Robust *RobustStatus `json:"robust,omitempty"`
 }
 
 // PairAllocation is one DC pair's current circuit assignment.
@@ -155,6 +159,7 @@ func (d *Daemon) Status() Status {
 	if d.cfg.FlowMonitor != nil {
 		st.FlowImpact = d.cfg.FlowMonitor.Last()
 	}
+	st.Robust = d.robustStatus()
 	return st
 }
 

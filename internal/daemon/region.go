@@ -106,7 +106,7 @@ type RegionConfig struct {
 	// generated and DCs placed from Seed / DCs.
 	Toy bool
 	// Seed seeds the map, traffic and jitter; derived streams use
-	// Seed+1..Seed+3 so one value pins the whole region.
+	// Seed+1..Seed+4 so one value pins the whole region.
 	Seed int64
 	DCs  int
 	// DCCapacity and Lambda pass through to fabric bring-up (0 = its
@@ -144,6 +144,17 @@ type RegionConfig struct {
 	// Chaos wraps every device in a fault shim and arms a live injector.
 	Chaos bool
 
+	// Robust arms METTEOR-style robust reconfiguration: one envelope
+	// allocation covers a window of matrices and reconfiguration is
+	// skipped while the live demand stays inside it. The Robust* knobs
+	// mirror irisd's -robust-* flags (0 selects the policy defaults:
+	// window 4, headroom 1.15, forecast 2, budget 8).
+	Robust         bool
+	RobustWindow   int
+	RobustHeadroom float64
+	RobustForecast int
+	RobustBudget   int
+
 	// FlowLoad arms the flow-impact monitor; the Flow* knobs mirror
 	// irisd's -flow-* flags.
 	FlowLoad   bool
@@ -180,6 +191,10 @@ func DefaultRegionConfig() RegionConfig {
 		Util:           0.7,
 		TraceEvents:    4096,
 		HistoryRecords: 512,
+		RobustWindow:   4,
+		RobustHeadroom: 1.15,
+		RobustForecast: 2,
+		RobustBudget:   8,
 		FlowDist:       "web2",
 		FlowUtil:       0.6,
 		FlowWindow:     4 * time.Second,
@@ -326,6 +341,18 @@ func BuildRegion(cfg RegionConfig) (*BuiltRegion, error) {
 		}
 	}
 
+	var pol *RobustPolicy
+	if cfg.Robust {
+		pol = &RobustPolicy{
+			Window:   cfg.RobustWindow,
+			Forecast: cfg.RobustForecast,
+			CP:       traffic.ChangeProcess{Bound: cfg.ShiftBound, Caps: caps, Util: cfg.Util},
+			Seed:     cfg.Seed + 4,
+			Headroom: cfg.RobustHeadroom,
+			Budget:   cfg.RobustBudget,
+		}
+	}
+
 	d, err := New(Config{
 		Fab:              rig.Fab,
 		Controller:       rig.Testbed.Controller,
@@ -344,6 +371,7 @@ func BuildRegion(cfg RegionConfig) (*BuiltRegion, error) {
 		Chaos:            inj,
 		FlowMonitor:      mon,
 		History:          lake,
+		Robust:           pol,
 	})
 	if err != nil {
 		return fail(err)

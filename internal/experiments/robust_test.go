@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+// TestRobustAblationChurnTrade is the headline acceptance property: on
+// the same seeded feed, the robust envelope policy must commit strictly
+// fewer reconfigurations than the per-shift delta policy, with its worst
+// p99 flow slowdown staying within 2× delta mode's (the envelope re-plans
+// are full solves, so each one moves more — the bound says they don't
+// move pathologically more).
+func TestRobustAblationChurnTrade(t *testing.T) {
+	cfg := DefaultRobustAblation()
+	cfg.Steps = 12 // trimmed grid: keep the unit test fast
+	cfg.Windows = []int{4}
+	rows, err := RobustAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Windows)*len(cfg.Bounds) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cfg.Windows)*len(cfg.Bounds))
+	}
+	for _, r := range rows {
+		if r.RobustReconfigs >= r.DeltaReconfigs {
+			t.Errorf("window %d bound %.2f: robust reconfigs %d ≥ delta %d",
+				r.Window, r.Bound, r.RobustReconfigs, r.DeltaReconfigs)
+		}
+		if r.Absorbed == 0 {
+			t.Errorf("window %d bound %.2f: envelope absorbed no shifts", r.Window, r.Bound)
+		}
+		if r.Overprovision < 1 {
+			t.Errorf("window %d bound %.2f: overprovision %.2f < 1", r.Window, r.Bound, r.Overprovision)
+		}
+		if !r.AllAdmissible {
+			t.Errorf("window %d bound %.2f: committed envelope not admissible for its set", r.Window, r.Bound)
+		}
+		if bound := 2 * maxf(r.DeltaP99, 1); r.RobustP99 > bound {
+			t.Errorf("window %d bound %.2f: robust p99 %.4f above %.4f (2× delta, floor 1)",
+				r.Window, r.Bound, r.RobustP99, bound)
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRobustAblationRejectsInvalidConfig(t *testing.T) {
+	for _, cfg := range []RobustAblationConfig{
+		{Steps: 1, Windows: []int{4}, Bounds: []float64{0.2}},
+		{Steps: 10, Bounds: []float64{0.2}},
+		{Steps: 10, Windows: []int{4}},
+	} {
+		if _, err := RobustAblation(cfg); err == nil {
+			t.Errorf("RobustAblation accepted invalid config %+v", cfg)
+		}
+	}
+}

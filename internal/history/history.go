@@ -41,6 +41,9 @@ const (
 	TriggerRepair Trigger = "repair"
 	// TriggerChaos is a chaos-cycle (inject → heal → replan → settle).
 	TriggerChaos Trigger = "chaos-cycle"
+	// TriggerEnvelopeEscape is a robust-mode re-plan: the live demand
+	// left the committed envelope and a new envelope was solved.
+	TriggerEnvelopeEscape Trigger = "envelope-escape"
 )
 
 // Health is the control-plane health snapshot bracketing a record.

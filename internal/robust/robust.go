@@ -1,0 +1,481 @@
+// Package robust implements METTEOR-style robust topology engineering:
+// instead of re-running the allocator on every traffic shift, it solves
+// ONE allocation that is admissible for a whole *set* of traffic matrices
+// — a recent window of the live feed, change-process forecasts, or any
+// explicit collection — trading a bounded amount of capacity
+// overprovisioning for reconfiguration churn.
+//
+// The construction is the per-matrix hose envelope: the element-wise
+// maximum of the set's pair demands, inflated by a configurable headroom
+// factor, allocated through the existing core planner. Because circuits
+// are dedicated per DC pair, an allocation provisioned for the envelope
+// covers every matrix the envelope dominates; Solve then verifies each
+// matrix independently — per-pair coverage against the provisioned
+// wavelengths and per-duct worst-case hose load (hose.WorstCaseLoad)
+// against the leased fiber — and iterates, tightening the headroom toward
+// 1 and finally clamping the envelope into the hose polytope, until all k
+// matrices pass or the iteration budget is exhausted.
+//
+// At high utilisation no single allocation can dominate a volatile set
+// (the element-wise max may itself exceed the hose caps); Solve then
+// returns the best allocatable envelope with AllAdmissible=false and
+// per-matrix Verdicts, so callers degrade explicitly instead of flapping.
+package robust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iris/internal/core"
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+// Config tunes the envelope iteration. The zero value of each field
+// selects the default; construct with DefaultConfig and mutate.
+type Config struct {
+	// Headroom inflates the element-wise max envelope before allocation
+	// (default 1.15). Must be ≥ 1: headroom below the max could not cover
+	// the very matrices the envelope was built from.
+	Headroom float64
+	// Shrink is the per-iteration tightening factor: on an infeasible
+	// envelope the excess headroom h-1 is multiplied by Shrink (default
+	// 0.5), walking h toward 1.
+	Shrink float64
+	// Budget bounds solve-verify iterations (default 8).
+	Budget int
+}
+
+// DefaultConfig returns the robust planner's defaults: 15% headroom,
+// halving tightening, 8 iterations.
+func DefaultConfig() Config {
+	return Config{Headroom: 1.15, Shrink: 0.5, Budget: 8}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	d := DefaultConfig()
+	if c.Headroom == 0 {
+		c.Headroom = d.Headroom
+	}
+	if c.Shrink == 0 {
+		c.Shrink = d.Shrink
+	}
+	if c.Budget == 0 {
+		c.Budget = d.Budget
+	}
+	if c.Headroom < 1 {
+		return c, fmt.Errorf("robust: headroom %.3f < 1", c.Headroom)
+	}
+	if c.Shrink <= 0 || c.Shrink >= 1 {
+		return c, fmt.Errorf("robust: shrink %.3f outside (0,1)", c.Shrink)
+	}
+	if c.Budget < 1 {
+		return c, fmt.Errorf("robust: budget %d < 1", c.Budget)
+	}
+	return c, nil
+}
+
+// Envelope is the demand the committed allocation was provisioned for:
+// the inflated (and possibly hose-clamped) element-wise maximum over the
+// matrix set. A live matrix inside the envelope needs no reconfiguration.
+type Envelope struct {
+	// Headroom is the inflation factor the envelope was allocated at.
+	Headroom float64
+	// Matrices is the size of the set the envelope was built from.
+	Matrices int
+	// Clamped records that the inflated max exceeded the hose caps and
+	// was scaled back into the polytope before allocation.
+	Clamped bool
+	// Demand is the envelope's per-pair demand in wavelengths (canonical
+	// pairs, zero entries omitted) — exactly the matrix that was
+	// allocated.
+	Demand map[hose.Pair]float64
+	// Total is the envelope's total demand in wavelengths.
+	Total float64
+}
+
+// Escape is one pair whose live demand left the envelope.
+type Escape struct {
+	Pair   hose.Pair `json:"pair"`
+	Demand float64   `json:"demand"`
+	Limit  float64   `json:"limit"`
+}
+
+// containsEps absorbs float noise from the change process's clamping;
+// an escape below a millionth of a wavelength is not worth a drain.
+const containsEps = 1e-6
+
+// Contains reports whether every pair demand of m fits the envelope — the
+// daemon's skip condition.
+func (e *Envelope) Contains(m *traffic.Matrix) bool {
+	for p, dm := range m.Demand {
+		if dm > e.Demand[p.Canonical()]+containsEps {
+			return false
+		}
+	}
+	return true
+}
+
+// Escapes lists the pairs of m outside the envelope, worst excess first.
+func (e *Envelope) Escapes(m *traffic.Matrix) []Escape {
+	var out []Escape
+	for p, dm := range m.Demand {
+		if limit := e.Demand[p.Canonical()]; dm > limit+containsEps {
+			out = append(out, Escape{Pair: p.Canonical(), Demand: dm, Limit: limit})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Demand-out[i].Limit, out[j].Demand-out[j].Limit
+		if di != dj {
+			return di > dj
+		}
+		return lessPair(out[i].Pair, out[j].Pair)
+	})
+	return out
+}
+
+// Utilization is the worst per-pair ratio of m's demand to the envelope
+// (1 at the boundary, >1 once escaped, 0 for an empty matrix). A pair
+// with demand but no envelope capacity yields +Inf.
+func (e *Envelope) Utilization(m *traffic.Matrix) float64 {
+	worst := 0.0
+	for p, dm := range m.Demand {
+		if dm <= 0 {
+			continue
+		}
+		limit := e.Demand[p.Canonical()]
+		if limit <= 0 {
+			return math.Inf(1)
+		}
+		if r := dm / limit; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// MaxEnvelope returns the element-wise maximum of the matrices' pair
+// demands (canonical pairs) — the raw, uninflated envelope.
+func MaxEnvelope(ms []*traffic.Matrix) map[hose.Pair]float64 {
+	raw := make(map[hose.Pair]float64)
+	for _, m := range ms {
+		for p, dm := range m.Demand {
+			if c := p.Canonical(); dm > raw[c] {
+				raw[c] = dm
+			}
+		}
+	}
+	return raw
+}
+
+// Overload is one duct whose leased fiber cannot carry a matrix's
+// worst-case hose load (mirrors the chaos auditor's capacity check).
+type Overload struct {
+	Duct int `json:"duct"`
+	// Need is the fiber-pairs the matrix's hose worst case requires.
+	Need int `json:"need"`
+	// Have is the fiber-pairs the plan leased there.
+	Have int `json:"have"`
+}
+
+// Verdict is one matrix's admissibility under a fixed allocation.
+type Verdict struct {
+	// Index is the matrix's position in the solved set.
+	Index int `json:"index"`
+	// Admissible: every pair's demand fits its provisioned wavelengths
+	// and every duct's worst-case hose load fits the leased fiber.
+	Admissible bool `json:"admissible"`
+	// Uncovered lists pairs whose demand exceeds the provisioned
+	// wavelengths (the dominance check the envelope construction makes
+	// automatic unless clamping cut below the matrix).
+	Uncovered []hose.Pair `json:"uncovered,omitempty"`
+	// Overloads are ducts failing the hose.WorstCaseLoad capacity check;
+	// ResidualOverloads are ducts crossed by more pairs than residual
+	// fibers provisioned.
+	Overloads         []Overload `json:"overloads,omitempty"`
+	ResidualOverloads []Overload `json:"residual_overloads,omitempty"`
+}
+
+// Result is one robust solve: the envelope, the allocation provisioned
+// for it, and the per-matrix admissibility evidence.
+type Result struct {
+	Envelope *Envelope
+	// State is the allocator's books for the envelope; Alloc is the
+	// immutable committed snapshot of the same allocation.
+	State *core.AllocState
+	Alloc core.Allocation
+	// Headroom is the factor the final iteration allocated at;
+	// Iterations counts solve-verify rounds consumed.
+	Headroom   float64
+	Iterations int
+	// Verdicts holds one admissibility verdict per input matrix;
+	// AllAdmissible is their conjunction.
+	Verdicts      []Verdict
+	AllAdmissible bool
+	// ProvisionedWavelengths totals the allocation's capacity
+	// (fibers·λ + residual summed over pairs); Overprovision is that
+	// capacity over the matrices' mean total demand — the METTEOR cost
+	// of robustness.
+	ProvisionedWavelengths float64
+	Overprovision          float64
+}
+
+// Solve computes one allocation admissible for all matrices in ms: build
+// the headroom-inflated element-wise max envelope, allocate it through
+// the core planner, verify every matrix, and iterate — tightening the
+// headroom toward 1 while the envelope exceeds the region's hose caps,
+// then clamping it into the polytope — until all matrices pass or the
+// budget is exhausted. When domination is infeasible at the region's
+// utilisation the best allocatable envelope is returned with
+// AllAdmissible=false; the error path is reserved for envelopes the
+// planner rejects outright even clamped.
+func Solve(dep *core.Deployment, ms []*traffic.Matrix, cfg Config) (*Result, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("robust: nil deployment")
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("robust: empty matrix set")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	raw := MaxEnvelope(ms)
+	dcs := dep.Region.Map.DCs()
+	capsW := make(map[int]float64, len(dcs))
+	for _, dc := range dcs {
+		capsW[dc] = float64(dep.Region.Capacity[dc] * dep.Region.Lambda)
+	}
+	meanTotal := 0.0
+	for _, m := range ms {
+		meanTotal += m.Total()
+	}
+	meanTotal /= float64(len(ms))
+
+	// Hose feasibility is linear in the headroom (aggregate·h ≤ cap per
+	// DC), so the largest allocatable inflation is known up front: start
+	// at min(Headroom, hFeas) instead of burning budget shrinking toward
+	// it, and when even the raw max exceeds some hose cap (hFeas < 1) no
+	// dominating envelope exists — clamp into the polytope from the start
+	// and let the verdicts report what the clamp cut.
+	hFeas := math.Inf(1)
+	for dc, agg := range pairAggregates(raw) {
+		if agg > 0 && capsW[dc] > 0 {
+			if f := capsW[dc] / agg; f < hFeas {
+				hFeas = f
+			}
+		}
+	}
+	h := cfg.Headroom
+	clamped := false
+	if hFeas < 1 {
+		clamped = true
+	} else if h > hFeas {
+		h = hFeas
+	}
+	// tighten walks the remaining knobs: shrink the headroom toward 1,
+	// then clamp the envelope into the hose polytope. False means both
+	// are spent.
+	tighten := func() bool {
+		if h > 1+1e-9 {
+			h = 1 + (h-1)*cfg.Shrink
+			if h <= 1+1e-6 {
+				h = 1
+			}
+			return true
+		}
+		if !clamped {
+			clamped = true
+			return true
+		}
+		return false
+	}
+
+	var best *Result
+	var lastErr error
+	for iter := 1; iter <= cfg.Budget; iter++ {
+		em := traffic.NewMatrix(dcs)
+		for p, dm := range raw {
+			em.Set(p, dm*h)
+		}
+		if clamped {
+			em.ClampToHose(capsW)
+		}
+		st, err := dep.AllocateState(em)
+		if err != nil {
+			lastErr = err
+			if tighten() {
+				continue
+			}
+			return nil, fmt.Errorf("robust: envelope unallocatable even clamped at headroom %.3f: %w", h, err)
+		}
+		alloc := st.Snapshot()
+		res := &Result{
+			Envelope:   newEnvelope(em, h, len(ms), clamped),
+			State:      st,
+			Alloc:      alloc,
+			Headroom:   h,
+			Iterations: iter,
+			Verdicts:   Verify(dep, alloc, ms),
+		}
+		res.AllAdmissible = true
+		for _, v := range res.Verdicts {
+			res.AllAdmissible = res.AllAdmissible && v.Admissible
+		}
+		res.ProvisionedWavelengths = Provisioned(alloc, dep.Region.Lambda)
+		if meanTotal > 0 {
+			res.Overprovision = res.ProvisionedWavelengths / meanTotal
+		}
+		if res.AllAdmissible {
+			return res, nil
+		}
+		best = res
+		// A failed verdict means the clamp (or a too-small envelope) cut
+		// below some matrix; a tighter headroom leaves the clamp less
+		// inflation to scale away, so keep walking the knobs.
+		if !tighten() {
+			break
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	return nil, fmt.Errorf("robust: no allocatable envelope within budget %d: %w", cfg.Budget, lastErr)
+}
+
+func newEnvelope(em *traffic.Matrix, h float64, k int, clamped bool) *Envelope {
+	e := &Envelope{
+		Headroom: h,
+		Matrices: k,
+		Clamped:  clamped,
+		Demand:   make(map[hose.Pair]float64, len(em.Demand)),
+	}
+	for p, dm := range em.Demand {
+		if dm > 0 {
+			e.Demand[p.Canonical()] = dm
+			e.Total += dm
+		}
+	}
+	return e
+}
+
+// Provisioned totals an allocation's capacity in wavelengths:
+// fibers·λ + residual summed over pairs.
+func Provisioned(alloc core.Allocation, lambda int) float64 {
+	total := 0.0
+	for p, f := range alloc.Fibers {
+		total += float64(f*lambda + alloc.Residual[p])
+	}
+	for p, r := range alloc.Residual {
+		if alloc.Fibers[p] == 0 {
+			total += float64(r)
+		}
+	}
+	return total
+}
+
+// Verify checks each matrix's admissibility under a fixed allocation,
+// mirroring the chaos auditor's provisioning rule. Two independent
+// checks per matrix:
+//
+//   - coverage: every pair's demand fits the wavelengths the allocation
+//     provisions for it (circuits are dedicated per pair, so coverage is
+//     exactly per-pair dominance up to the allocator's ceiling);
+//   - capacity: per crossed duct, the worst-case hose-model load of the
+//     crossing pairs — hose.WorstCaseLoad with the matrix's own per-DC
+//     aggregates as hose caps, plus the multi-crossing surcharge for hub
+//     walks — must fit the base plus cut-through fiber leased there, and
+//     the crossing-pair count must fit the residual fibers.
+func Verify(dep *core.Deployment, alloc core.Allocation, ms []*traffic.Matrix) []Verdict {
+	lambda := dep.Region.Lambda
+	out := make([]Verdict, len(ms))
+	for i, m := range ms {
+		v := Verdict{Index: i, Admissible: true}
+
+		// Per-DC aggregates in fiber units: the hose caps this matrix
+		// induces for the worst-case load bound.
+		capsF := make(map[int]float64)
+		for dc, agg := range m.PerDC() {
+			capsF[dc] = agg / float64(lambda)
+		}
+
+		crossings := make(map[int]map[hose.Pair]int)
+		for p, dm := range m.Demand {
+			if dm <= 0 {
+				continue
+			}
+			c := p.Canonical()
+			prov := float64(alloc.FibersFor(c)*lambda + alloc.ResidualFor(c))
+			if dm > prov+containsEps {
+				v.Uncovered = append(v.Uncovered, c)
+				v.Admissible = false
+			}
+			info, ok := dep.Plan.Paths[c]
+			if !ok {
+				v.Uncovered = append(v.Uncovered, c)
+				v.Admissible = false
+				continue
+			}
+			for _, duct := range info.Ducts {
+				byPair := crossings[duct]
+				if byPair == nil {
+					byPair = make(map[hose.Pair]int)
+					crossings[duct] = byPair
+				}
+				byPair[c]++
+			}
+		}
+		sort.Slice(v.Uncovered, func(a, b int) bool { return lessPair(v.Uncovered[a], v.Uncovered[b]) })
+
+		ductIDs := make([]int, 0, len(crossings))
+		for id := range crossings {
+			ductIDs = append(ductIDs, id)
+		}
+		sort.Ints(ductIDs)
+		for _, id := range ductIDs {
+			du := dep.Plan.Ducts[id]
+			if du == nil {
+				continue
+			}
+			byPair := crossings[id]
+			pairs := make([]hose.Pair, 0, len(byPair))
+			extra := 0.0
+			for pair, k := range byPair {
+				pairs = append(pairs, pair)
+				if k > 1 {
+					extra += float64(k-1) * math.Min(capsF[pair.A], capsF[pair.B])
+				}
+			}
+			need := int(math.Ceil(hose.WorstCaseLoad(capsF, pairs) + extra - 1e-9))
+			if have := du.BasePairs + du.CutThroughPairs; need > have {
+				v.Overloads = append(v.Overloads, Overload{Duct: id, Need: need, Have: have})
+				v.Admissible = false
+			}
+			if n, have := len(byPair), du.ResidualPairs; n > have {
+				v.ResidualOverloads = append(v.ResidualOverloads, Overload{Duct: id, Need: n, Have: have})
+				v.Admissible = false
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// pairAggregates sums a pair-demand map into per-DC hose aggregates.
+func pairAggregates(demand map[hose.Pair]float64) map[int]float64 {
+	agg := make(map[int]float64)
+	for p, dm := range demand {
+		agg[p.A] += dm
+		agg[p.B] += dm
+	}
+	return agg
+}
+
+func lessPair(a, b hose.Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}

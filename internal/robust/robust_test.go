@@ -1,0 +1,273 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iris/internal/core"
+	"iris/internal/fibermap"
+	"iris/internal/hose"
+	"iris/internal/traffic"
+)
+
+func toyDep(t *testing.T) *core.Deployment {
+	t.Helper()
+	r := fibermap.Toy()
+	caps := make(map[int]int)
+	for _, dc := range r.Map.DCs() {
+		caps[dc] = 10
+	}
+	dep, err := core.Plan(core.Region{Map: r.Map, Capacity: caps, Lambda: 40}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+// evolve yields k successive matrices of the seeded §6.3 change process at
+// the given utilisation and drift bound.
+func evolve(dep *core.Deployment, seed int64, k int, util, bound float64) []*traffic.Matrix {
+	capsW := make(map[int]float64)
+	for dc, c := range dep.Region.Capacity {
+		capsW[dc] = float64(c * dep.Region.Lambda)
+	}
+	dcs := dep.Region.Map.DCs()
+	base := traffic.HeavyTailed(rand.New(rand.NewSource(seed)), dcs, capsW, util)
+	ev := traffic.NewEvolver(seed+1, base, traffic.ChangeProcess{Bound: bound, Caps: capsW, Util: util})
+	ms := make([]*traffic.Matrix, 0, k)
+	for i := 0; i < k; i++ {
+		m, _ := ev.Next()
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// TestSolveAdmissibleForAllMatrices is the robust-mode property test: an
+// envelope solved over k seeded matrices must be verified admissible —
+// per-pair demand within the provisioned wavelengths AND per-duct
+// hose.WorstCaseLoad within the leased fiber — for EVERY matrix in the
+// set. The check here is recomputed from scratch against the solved
+// allocation, independently of Solve's own Verify call.
+func TestSolveAdmissibleForAllMatrices(t *testing.T) {
+	dep := toyDep(t)
+	lambda := dep.Region.Lambda
+	for _, seed := range []int64{1, 7, 42} {
+		ms := evolve(dep, seed, 6, 0.5, 0.2)
+		res, err := Solve(dep, ms, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllAdmissible {
+			t.Fatalf("seed %d: envelope not admissible for all %d matrices: %+v", seed, len(ms), res.Verdicts)
+		}
+		if len(res.Verdicts) != len(ms) {
+			t.Fatalf("seed %d: %d verdicts for %d matrices", seed, len(res.Verdicts), len(ms))
+		}
+
+		for i, m := range ms {
+			// Per-pair coverage against the provisioned wavelengths.
+			for p, dm := range m.Demand {
+				prov := float64(res.Alloc.FibersFor(p)*lambda + res.Alloc.ResidualFor(p))
+				if dm > prov+1e-6 {
+					t.Errorf("seed %d matrix %d: pair %d-%d demand %.2f > provisioned %.2f",
+						seed, i, p.A, p.B, dm, prov)
+				}
+			}
+			// Per-duct worst-case hose load (matrix aggregates as hose
+			// caps, in fiber units) against the leased base + cut-through
+			// fiber.
+			capsF := make(map[int]float64)
+			for dc, agg := range m.PerDC() {
+				capsF[dc] = agg / float64(lambda)
+			}
+			crossings := make(map[int][]hose.Pair)
+			for p, dm := range m.Demand {
+				if dm <= 0 {
+					continue
+				}
+				info := dep.Plan.Paths[p.Canonical()]
+				if info == nil {
+					t.Fatalf("no planned path for pair %d-%d", p.A, p.B)
+				}
+				for _, duct := range info.Ducts {
+					crossings[duct] = append(crossings[duct], p.Canonical())
+				}
+			}
+			for duct, pairs := range crossings {
+				du := dep.Plan.Ducts[duct]
+				need := hose.WorstCaseLoad(capsF, pairs)
+				if have := float64(du.BasePairs + du.CutThroughPairs); need > have+1e-9 {
+					t.Errorf("seed %d matrix %d: duct %d worst-case load %.3f > provisioned %.0f",
+						seed, i, duct, need, have)
+				}
+			}
+		}
+
+		if res.ProvisionedWavelengths <= 0 || res.Overprovision < 1 {
+			t.Errorf("seed %d: provisioned=%.1f overprovision=%.2f, want positive capacity at ratio ≥ 1",
+				seed, res.ProvisionedWavelengths, res.Overprovision)
+		}
+	}
+}
+
+// TestSolveTightensInfeasibleHeadroom starts from an absurd headroom that
+// cannot fit the hose caps and checks the solver lands on a feasible
+// inflation (hose feasibility is linear in the headroom, so the bound is
+// computed analytically rather than burning budget) instead of erroring.
+func TestSolveTightensInfeasibleHeadroom(t *testing.T) {
+	dep := toyDep(t)
+	ms := evolve(dep, 3, 4, 0.6, 0.2)
+	res, err := Solve(dep, ms, Config{Headroom: 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Headroom >= 5.0 {
+		t.Fatalf("headroom %.3f was not tightened (5.0 cannot be hose-feasible at util 0.6)", res.Headroom)
+	}
+	if res.Headroom < 1 {
+		t.Fatalf("headroom %.3f fell below 1", res.Headroom)
+	}
+	if !res.AllAdmissible {
+		t.Fatalf("tightened envelope not admissible: %+v", res.Verdicts)
+	}
+}
+
+// TestSolveBestEffortWhenDominationInfeasible pins the degraded path: two
+// individually feasible matrices whose element-wise max exceeds the hose
+// caps force clamping, and the clamped envelope cannot cover both — Solve
+// must return the best allocatable envelope with AllAdmissible=false, not
+// an error.
+func TestSolveBestEffortWhenDominationInfeasible(t *testing.T) {
+	dep := toyDep(t)
+	dcs := dep.Region.Map.DCs()
+	m1 := traffic.NewMatrix(dcs)
+	m1.Set(hose.Pair{A: dcs[0], B: dcs[1]}, 390)
+	m2 := traffic.NewMatrix(dcs)
+	m2.Set(hose.Pair{A: dcs[0], B: dcs[2]}, 390)
+	res, err := Solve(dep, []*traffic.Matrix{m1, m2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllAdmissible {
+		t.Fatal("domination of 780 wavelengths at one DC cannot be admissible under a 400-wavelength hose cap")
+	}
+	if !res.Envelope.Clamped {
+		t.Error("envelope should have been clamped into the hose polytope")
+	}
+	bad := 0
+	for _, v := range res.Verdicts {
+		if !v.Admissible {
+			bad++
+			if len(v.Uncovered) == 0 {
+				t.Errorf("matrix %d inadmissible without uncovered pairs", v.Index)
+			}
+		}
+	}
+	if bad == 0 {
+		t.Error("no inadmissible verdicts despite AllAdmissible=false")
+	}
+}
+
+func TestEnvelopeContainsEscapesUtilization(t *testing.T) {
+	dep := toyDep(t)
+	ms := evolve(dep, 5, 4, 0.5, 0.2)
+	res, err := Solve(dep, ms, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := res.Envelope
+
+	for i, m := range ms {
+		if !env.Contains(m) {
+			t.Errorf("matrix %d of the solved set escapes its own envelope", i)
+		}
+		if u := env.Utilization(m); u <= 0 || u > 1+1e-9 {
+			t.Errorf("matrix %d utilization %.3f outside (0, 1]", i, u)
+		}
+	}
+
+	// Inflate one pair past its envelope: must escape, with the pair
+	// reported and utilization above 1.
+	esc := ms[0].Clone()
+	var worst hose.Pair
+	var worstD float64
+	for p, dm := range esc.Demand {
+		if dm > worstD {
+			worst, worstD = p, dm
+		}
+	}
+	esc.Set(worst, env.Demand[worst.Canonical()]*1.5)
+	if env.Contains(esc) {
+		t.Fatal("inflated matrix still contained")
+	}
+	escapes := env.Escapes(esc)
+	if len(escapes) == 0 || escapes[0].Pair != worst.Canonical() {
+		t.Fatalf("escapes = %+v, want pair %v first", escapes, worst)
+	}
+	if u := env.Utilization(esc); u < 1.5-1e-9 {
+		t.Errorf("escaped utilization %.3f, want ≥ 1.5", u)
+	}
+
+	// Demand on a pair with no envelope capacity is an infinite fill.
+	off := traffic.NewMatrix(dep.Region.Map.DCs())
+	zero := &Envelope{Demand: map[hose.Pair]float64{}}
+	off.Set(hose.Pair{A: dep.Region.Map.DCs()[0], B: dep.Region.Map.DCs()[1]}, 1)
+	if u := zero.Utilization(off); !math.IsInf(u, 1) {
+		t.Errorf("zero-capacity utilization = %v, want +Inf", u)
+	}
+}
+
+func TestMaxEnvelope(t *testing.T) {
+	dcs := []int{2, 3, 4}
+	a := traffic.NewMatrix(dcs)
+	a.Set(hose.Pair{A: 2, B: 3}, 10)
+	a.Set(hose.Pair{A: 3, B: 4}, 5)
+	b := traffic.NewMatrix(dcs)
+	b.Set(hose.Pair{A: 3, B: 2}, 7) // non-canonical order on purpose
+	b.Set(hose.Pair{A: 2, B: 4}, 3)
+	raw := MaxEnvelope([]*traffic.Matrix{a, b})
+	want := map[hose.Pair]float64{
+		{A: 2, B: 3}: 10,
+		{A: 3, B: 4}: 5,
+		{A: 2, B: 4}: 3,
+	}
+	if len(raw) != len(want) {
+		t.Fatalf("raw = %v, want %v", raw, want)
+	}
+	for p, v := range want {
+		if raw[p] != v {
+			t.Errorf("raw[%v] = %v, want %v", p, raw[p], v)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dep := toyDep(t)
+	ms := evolve(dep, 1, 2, 0.5, 0.2)
+	for _, cfg := range []Config{
+		{Headroom: 0.5},
+		{Shrink: 1.5},
+		{Budget: -1},
+	} {
+		if _, err := Solve(dep, ms, cfg); err == nil {
+			t.Errorf("Solve accepted invalid config %+v", cfg)
+		}
+	}
+	if _, err := Solve(dep, nil, Config{}); err == nil {
+		t.Error("Solve accepted an empty matrix set")
+	}
+	if _, err := Solve(nil, ms, Config{}); err == nil {
+		t.Error("Solve accepted a nil deployment")
+	}
+}
+
+func TestProvisioned(t *testing.T) {
+	alloc := core.Allocation{
+		Fibers:   map[hose.Pair]int{{A: 0, B: 1}: 2},
+		Residual: map[hose.Pair]int{{A: 0, B: 1}: 13, {A: 0, B: 2}: 5},
+	}
+	if got := Provisioned(alloc, 40); got != 2*40+13+5 {
+		t.Errorf("Provisioned = %v, want %v", got, 2*40+13+5)
+	}
+}

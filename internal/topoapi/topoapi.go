@@ -5,6 +5,7 @@
 //	GET /api/paths?from=&to=&k=     k-shortest duct paths with per-hop fiber occupancy
 //	GET /api/critical?k=            ducts ranked by the hose demand their loss strands
 //	GET /api/whatif?scenario=       survivability audit of a hypothetical failure
+//	GET /api/whatif?audit=envelope  live demand vs the committed robust envelope
 //	GET /api/history                reconfiguration history (the history lake)
 //	GET /api/history/{reconfig_id}  one record with span tree and alloc diff
 //	GET /api/history/diff?from=&to= net topology change between two reconfigs
@@ -19,6 +20,7 @@ package topoapi
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
@@ -32,7 +34,9 @@ import (
 	"iris/internal/history"
 	"iris/internal/hose"
 	"iris/internal/plan"
+	"iris/internal/robust"
 	"iris/internal/trace"
+	"iris/internal/traffic"
 )
 
 // Snapshot is the daemon state one request is answered against. Alloc
@@ -42,6 +46,9 @@ type Snapshot struct {
 	Dep    *core.Deployment
 	Alloc  core.Allocation
 	Demand map[hose.Pair]float64
+	// Robust is the committed robust envelope (nil outside robust mode);
+	// /api/whatif?audit=envelope audits the live demand against it.
+	Robust *robust.Envelope
 	// Ready is false until the daemon has committed a first allocation;
 	// topology queries answer 503 until then.
 	Ready bool
@@ -411,6 +418,10 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	}
 	m := snap.Dep.Region.Map
 	q := r.URL.Query()
+	if q.Get("audit") == "envelope" || q.Get("envelope") != "" {
+		s.handleEnvelopeAudit(w, snap)
+		return
+	}
 	var sc chaos.Scenario
 	var err error
 	if spec := q.Get("scenario"); spec != "" {
@@ -418,7 +429,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	} else if q.Get("kind") != "" {
 		sc, err = chaos.ScenarioFromQuery(m, q)
 	} else {
-		jsonError(w, http.StatusBadRequest, "whatif needs scenario= (e.g. cut:3,7) or kind= parameters")
+		jsonError(w, http.StatusBadRequest, "whatif needs scenario= (e.g. cut:3,7), kind= parameters, or audit=envelope")
 		return
 	}
 	if err != nil {
@@ -431,6 +442,43 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		"scenario":        sc,
 		"result":          res,
 		"stranded_demand": strandedDemand(base, sc.CutSet(), snap.Demand),
+	})
+}
+
+// handleEnvelopeAudit answers /api/whatif?audit=envelope: where the live
+// demand sits relative to the committed robust envelope — contained or
+// escaped, the worst per-pair utilisation, and the escaping pairs.
+func (s *Server) handleEnvelopeAudit(w http.ResponseWriter, snap Snapshot) {
+	env := snap.Robust
+	if env == nil {
+		jsonError(w, http.StatusNotFound, "no robust envelope committed (run with -robust)")
+		return
+	}
+	live := traffic.NewMatrix(snap.Dep.Region.Map.DCs())
+	for p, dm := range snap.Demand {
+		live.Set(p, dm)
+	}
+	escapes := env.Escapes(live)
+	if escapes == nil {
+		escapes = []robust.Escape{}
+	}
+	util := env.Utilization(live)
+	if math.IsInf(util, 0) {
+		// JSON has no Inf; -1 marks demand on a pair the envelope holds
+		// zero capacity for.
+		util = -1
+	}
+	writeJSON(w, map[string]any{
+		"envelope": map[string]any{
+			"matrices": env.Matrices,
+			"headroom": env.Headroom,
+			"clamped":  env.Clamped,
+			"pairs":    len(env.Demand),
+			"total":    env.Total,
+		},
+		"contained":   env.Contains(live),
+		"utilization": util,
+		"escapes":     escapes,
 	})
 }
 

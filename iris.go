@@ -54,6 +54,7 @@ import (
 	"iris/internal/flowsim"
 	"iris/internal/history"
 	"iris/internal/hose"
+	"iris/internal/robust"
 	"iris/internal/topoapi"
 	"iris/internal/traffic"
 )
@@ -183,6 +184,38 @@ type (
 	// DemandSummary is a region's hose-aggregate demand view, as
 	// published on the fleet's inter-region demand bus.
 	DemandSummary = daemon.DemandSummary
+)
+
+// Robust topology-engineering types (internal/robust, internal/daemon,
+// internal/traffic, internal/experiments) — METTEOR mode: one envelope
+// allocation solved over a set of traffic matrices and verified
+// admissible for every one, so the control plane reconfigures only when
+// live demand escapes the committed envelope.
+type (
+	// RobustConfig tunes the envelope solver (headroom, tighten factor,
+	// iteration budget).
+	RobustConfig = robust.Config
+	// RobustEnvelope is a committed per-pair demand envelope; Contains,
+	// Escapes and Utilization classify a live matrix against it.
+	RobustEnvelope = robust.Envelope
+	// RobustResult is one solved envelope: the allocation, per-matrix
+	// admissibility verdicts, and the overprovisioning it cost.
+	RobustResult = robust.Result
+	// RobustVerdict is one matrix's admissibility audit against the
+	// envelope allocation.
+	RobustVerdict = robust.Verdict
+	// RobustPolicy arms METTEOR mode on a daemon via
+	// DaemonConfig.Robust.
+	RobustPolicy = daemon.RobustPolicy
+	// RobustStatus is /status's robust block.
+	RobustStatus = daemon.RobustStatus
+	// TrafficWindow is a bounded FIFO of recent demand matrices, the
+	// envelope's solve set.
+	TrafficWindow = traffic.Window
+	// RobustAblationConfig parameterises the robust-vs-delta churn
+	// experiment; RobustAblationRow is one (window, volatility) cell.
+	RobustAblationConfig = experiments.RobustAblationConfig
+	RobustAblationRow    = experiments.RobustAblationRow
 )
 
 // Reconfiguration-history and topology-intelligence types
@@ -350,3 +383,33 @@ func WorkloadByName(name string) (SizeDist, bool) { return traffic.WorkloadByNam
 // flow-impact monitor; pass it as DaemonConfig.FlowMonitor and register
 // its metrics by sharing the daemon's telemetry registry.
 func NewFlowMonitor(cfg FlowMonitorConfig) (*FlowMonitor, error) { return flowsim.NewMonitor(cfg) }
+
+// DefaultRobustConfig returns the envelope solver's defaults (15%
+// headroom, halve-toward-1 tightening, 8 iterations).
+func DefaultRobustConfig() RobustConfig { return robust.DefaultConfig() }
+
+// SolveRobust plans one allocation admissible for every matrix in the
+// set: element-wise max envelope, headroom inflation, hose clamping, and
+// a per-matrix admissibility audit of the result.
+func SolveRobust(dep *Deployment, ms []*Matrix, cfg RobustConfig) (*RobustResult, error) {
+	return robust.Solve(dep, ms, cfg)
+}
+
+// MaxEnvelope returns the element-wise maximum demand per DC pair over
+// the matrix set — the raw (pre-headroom) envelope.
+func MaxEnvelope(ms []*Matrix) map[Pair]float64 { return robust.MaxEnvelope(ms) }
+
+// NewTrafficWindow returns an empty bounded window of the last n demand
+// matrices (n < 1 is treated as 1).
+func NewTrafficWindow(n int) *TrafficWindow { return traffic.NewWindow(n) }
+
+// DefaultRobustAblation returns the robust-vs-delta experiment's CI-sized
+// grid; set Seed, Windows and Bounds on the returned struct.
+func DefaultRobustAblation() RobustAblationConfig { return experiments.DefaultRobustAblation() }
+
+// RobustAblation replays seeded change processes through the per-shift
+// delta policy and the METTEOR envelope policy and reports the
+// churn/overprovisioning trade per cell.
+func RobustAblation(cfg RobustAblationConfig) ([]RobustAblationRow, error) {
+	return experiments.RobustAblation(cfg)
+}

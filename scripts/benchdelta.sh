@@ -1,20 +1,42 @@
 #!/usr/bin/env sh
 # benchdelta.sh prints a compact ns/op delta table between two bench
-# artifacts produced by benchjson.sh:
+# artifacts produced by benchjson.sh, and acts as a perf tripwire:
 #
 #   scripts/benchdelta.sh bench-prev.json BENCH_<sha>.json
 #
 # Rows present only in the new artifact are marked "new", rows that
 # disappeared are marked "gone". A missing previous artifact is not an
 # error — the first run of a branch has no baseline.
+#
+# Tripwire knobs (environment):
+#   BENCHDELTA_WARN_PCT   emit a GitHub ::warning annotation for every
+#                         benchmark whose ns/op regressed by more than
+#                         this percentage (default 15).
+#   BENCHDELTA_FAIL_PCT   exit non-zero when any non-allowlisted
+#                         benchmark regressed by more than this
+#                         percentage (unset/empty disables failing —
+#                         warnings only).
+#   BENCHDELTA_ALLOWLIST  file of benchmark names exempt from the fail
+#                         threshold, one per line, '#' comments allowed
+#                         (default scripts/bench-allowlist.txt next to
+#                         this script; a missing file is an empty list).
 set -eu
 
 prev="${1:?usage: benchdelta.sh PREV.json NEW.json}"
 new="${2:?usage: benchdelta.sh PREV.json NEW.json}"
+warn_pct="${BENCHDELTA_WARN_PCT:-15}"
+fail_pct="${BENCHDELTA_FAIL_PCT:-}"
+allowfile="${BENCHDELTA_ALLOWLIST:-$(dirname "$0")/bench-allowlist.txt}"
 
 if [ ! -f "$prev" ]; then
   echo "benchdelta: no previous artifact at $prev — baseline run, nothing to compare"
   exit 0
+fi
+
+allow=""
+if [ -f "$allowfile" ]; then
+  # Strip comments and blank lines; what remains is one name per line.
+  allow=$(sed 's/#.*//; s/[[:space:]]*$//; /^$/d' "$allowfile")
 fi
 
 # benchjson.sh emits one result object per line; pull "name ns_per_op"
@@ -29,11 +51,16 @@ new_pairs=$(extract "$new")
 prev_sha=$(sed -n 's/.*"commit": "\([^"]*\)".*/\1/p' "$prev" | head -1)
 echo "benchdelta: vs previous run ${prev_sha:-unknown} (1x smoke runs; treat small deltas as noise)"
 
-printf '%s\n' "$prev_pairs" | awk -v newlist="$new_pairs" '
+printf '%s\n' "$prev_pairs" | awk \
+  -v newlist="$new_pairs" -v warn="$warn_pct" -v fail="$fail_pct" -v allowlist="$allow" '
 { prev[$1] = $2 }
 END {
+  na = split(allowlist, al, "\n")
+  for (i = 1; i <= na; i++)
+    if (al[i] != "") allowed[al[i]] = 1
   n = split(newlist, lines, "\n")
   printf "%-58s %14s %14s %9s\n", "benchmark", "prev ns/op", "new ns/op", "delta"
+  bad = 0
   for (i = 1; i <= n; i++) {
     split(lines[i], f, " ")
     name = f[1]; val = f[2]
@@ -42,6 +69,16 @@ END {
     if (name in prev && prev[name] + 0 > 0) {
       d = (val - prev[name]) / prev[name] * 100
       printf "%-58s %14.0f %14.0f %+8.1f%%\n", name, prev[name], val, d
+      if (d > warn + 0)
+        printf "::warning title=benchmark regression::%s ns/op +%.1f%% (%.0f -> %.0f) exceeds %s%%\n", \
+          name, d, prev[name], val, warn
+      if (fail != "" && d > fail + 0) {
+        if (name in allowed)
+          printf "::notice title=allowlisted regression::%s ns/op +%.1f%% exceeds fail threshold %s%% but is allowlisted\n", \
+            name, d, fail
+        else
+          failures[++bad] = sprintf("%s +%.1f%%", name, d)
+      }
     } else {
       printf "%-58s %14s %14.0f %9s\n", name, "-", val, "new"
     }
@@ -49,4 +86,10 @@ END {
   for (name in prev)
     if (!(name in seen))
       printf "%-58s %14.0f %14s %9s\n", name, prev[name], "-", "gone"
+  if (bad > 0) {
+    for (i = 1; i <= bad; i++)
+      printf "::error title=benchmark regression over fail threshold::%s (threshold %s%%)\n", failures[i], fail
+    printf "benchdelta: %d benchmark(s) regressed beyond %s%% — failing\n", bad, fail
+    exit 1
+  }
 }'
