@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"iris/internal/core"
 	"iris/internal/experiments"
 	"iris/internal/fibermap"
 	"iris/internal/flowsim"
@@ -297,6 +298,52 @@ func BenchmarkPlanTwoFailures(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(pl.NScena), "scenarios")
+	}
+}
+
+// BenchmarkFullSolve measures the redesigned entry point: a warmed
+// core.Solver re-solving the 10-DC bench region (plan plus all three
+// priced breakdowns) on its retained arena. The acceptance gate for the
+// Solver API is ≥3× faster than the fresh-workspace path per solve;
+// BenchmarkFullSolveCold measures that path (one throwaway Solver per
+// iteration, the old core.Plan cost shape) on the same region.
+func BenchmarkFullSolve(b *testing.B) {
+	m, dcs := benchRegion(b, 10)
+	caps := make(map[int]int)
+	for _, dc := range dcs {
+		caps[dc] = 16
+	}
+	region := core.Region{Map: m, Capacity: caps, Lambda: 40}
+	opts := core.DefaultOptions()
+	opts.MaxFailures = 1
+	s := core.NewSolver(opts)
+	if _, err := s.Solve(region); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(region); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullSolveCold(b *testing.B) {
+	m, dcs := benchRegion(b, 10)
+	caps := make(map[int]int)
+	for _, dc := range dcs {
+		caps[dc] = 16
+	}
+	region := core.Region{Map: m, Capacity: caps, Lambda: 40}
+	opts := core.DefaultOptions()
+	opts.MaxFailures = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Plan(region, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -73,37 +73,20 @@ func DefaultOptions() Options {
 	return Options{MaxFailures: 2}
 }
 
-// Plan plans a region end to end.
+// Plan plans a region end to end. It wraps a throwaway Solver, so the
+// returned Deployment is independent of any workspace and stays valid
+// forever; loops that re-plan the same region should hold a Solver
+// instead and amortize the workspace across calls.
 func Plan(region Region, opts Options) (*Deployment, error) {
-	pl, err := plan.New(plan.Input{
-		Map:         region.Map,
-		Capacity:    region.Capacity,
-		Lambda:      region.Lambda,
-		MaxFailures: opts.MaxFailures,
-		Span:        opts.Span,
-	})
-	if err != nil {
-		return nil, err
-	}
-	prices := opts.Prices
-	if prices == (cost.Catalog{}) {
-		prices = cost.Default()
-	}
-	return &Deployment{
-		Region: region,
-		Plan:   pl,
-		Iris:   cost.Iris(pl, prices),
-		EPS:    cost.EPS(pl, prices),
-		Hybrid: cost.Hybrid(pl, prices),
-	}, nil
+	return NewSolver(opts).Solve(region)
 }
 
 // PlanMany plans several regions, fanning them out across
-// Options.Parallelism workers. Deployments are returned in input order
-// regardless of scheduling; planning each region is deterministic, so a
-// parallel run returns exactly what a serial one would. On failure the
-// error names the lowest-index failing region and no deployments are
-// returned.
+// Options.Parallelism workers, each with its own Solver. Deployments are
+// returned in input order regardless of scheduling; planning each region
+// is deterministic, so a parallel run returns exactly what a serial one
+// would. On failure the error names the lowest-index failing region and
+// no deployments are returned.
 func PlanMany(regions []Region, opts Options) ([]*Deployment, error) {
 	opts.Span = nil // concurrent regions would interleave children under one parent
 	deps := make([]*Deployment, len(regions))

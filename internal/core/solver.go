@@ -1,0 +1,67 @@
+package core
+
+import (
+	"iris/internal/cost"
+	"iris/internal/plan"
+	"iris/internal/traffic"
+)
+
+// Solver is a reusable planning engine: it owns an arena-backed planner
+// workspace (plan.Planner), a pricing workspace (cost.Calc) and a
+// Deployment it refills on every Solve, so a control loop that re-plans
+// the same region — the daemon's converge loop, the robust envelope
+// solver, the chaos auditor, the fleet scheduler — pays the allocation
+// cost of planning once and then solves allocation-free.
+//
+// The Deployment returned by Solve aliases the Solver's workspace and is
+// overwritten by the next Solve call; callers that need a result to
+// outlive the next solve must use the package-level Plan, which wraps a
+// throwaway Solver. A Solver is not safe for concurrent use — use one
+// per goroutine (PlanMany does).
+type Solver struct {
+	opts    Options
+	planner *plan.Planner
+	calc    cost.Calc
+	dep     Deployment
+}
+
+// NewSolver returns a Solver with the given options. A zero Prices
+// catalog selects the paper's §3.3 defaults, matching Plan.
+func NewSolver(opts Options) *Solver {
+	if opts.Prices == (cost.Catalog{}) {
+		opts.Prices = cost.Default()
+	}
+	return &Solver{opts: opts, planner: plan.NewPlanner()}
+}
+
+// Solve plans a region end to end into the Solver's workspace. Repeated
+// calls on an unchanged region (same Map, Capacity values, MaxFailures)
+// reuse every internal slab and perform no steady-state heap allocation;
+// a changed region transparently rebuilds the workspace. See Solver for
+// the result's lifetime.
+func (s *Solver) Solve(region Region) (*Deployment, error) {
+	pl, err := s.planner.Plan(plan.Input{
+		Map:         region.Map,
+		Capacity:    region.Capacity,
+		Lambda:      region.Lambda,
+		MaxFailures: s.opts.MaxFailures,
+		Span:        s.opts.Span,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.dep.Region = region
+	s.dep.Plan = pl
+	s.dep.Iris = s.calc.Iris(pl, s.opts.Prices)
+	s.dep.EPS = s.calc.EPS(pl, s.opts.Prices)
+	s.dep.Hybrid = s.calc.Hybrid(pl, s.opts.Prices)
+	return &s.dep, nil
+}
+
+// SolveDelta applies a traffic delta to an allocation state derived from
+// this Solver's current Deployment (via Deployment.AllocateState). It is
+// Deployment.AllocateDelta surfaced on the Solver so a converge loop can
+// drive planning and incremental allocation through one handle.
+func (s *Solver) SolveDelta(st *AllocState, delta traffic.Delta) (Undo, DeltaStats, error) {
+	return s.dep.AllocateDelta(st, delta)
+}

@@ -139,7 +139,11 @@ func EPS(pl *plan.Plan, c Catalog) Breakdown {
 func Iris(pl *plan.Plan, c Catalog) Breakdown {
 	b := Breakdown{Design: "iris", Prices: c}
 	lambda := pl.Input.Lambda
-	for _, dc := range pl.Input.Map.DCs() {
+	dcs := pl.DCs
+	if dcs == nil {
+		dcs = pl.Input.Map.DCs()
+	}
+	for _, dc := range dcs {
 		b.DCTransceivers += pl.Input.Capacity[dc] * lambda
 	}
 	b.FiberPairs = pl.TotalFiberPairs()
@@ -173,17 +177,50 @@ func Iris(pl *plan.Plan, c Catalog) Breakdown {
 // fiber provisioned for failure reroutes keeps Iris's one-per-pair layout,
 // which keeps the estimate conservative.
 func Hybrid(pl *plan.Plan, c Catalog) Breakdown {
+	var ca Calc
+	return ca.Hybrid(pl, c)
+}
+
+// hybridGroup attributes a residual crossing of a duct to one endpoint of
+// the pair's path for the Appendix B bundling count.
+type hybridGroup struct {
+	duct     int
+	endpoint int
+}
+
+// Calc is a reusable pricing workspace: the package-level EPS, Iris and
+// Hybrid functions allocate their scratch per call, while a Calc retains
+// it between calls, so repricing plans over the same region allocates
+// nothing once warm. A Calc is not safe for concurrent use; its zero
+// value is ready.
+type Calc struct {
+	counts      map[hybridGroup]int
+	savedByDuct map[int]int
+}
+
+// EPS prices the electrical design; it needs no scratch and exists so a
+// Calc exposes all three architectures uniformly.
+func (ca *Calc) EPS(pl *plan.Plan, c Catalog) Breakdown { return EPS(pl, c) }
+
+// Iris prices the fiber-switched design; allocation-free given a plan
+// that carries its DC list.
+func (ca *Calc) Iris(pl *plan.Plan, c Catalog) Breakdown { return Iris(pl, c) }
+
+// Hybrid prices the fiber+wavelength design using the Calc's retained
+// scratch maps. See the package-level Hybrid for the model.
+func (ca *Calc) Hybrid(pl *plan.Plan, c Catalog) Breakdown {
 	b := Iris(pl, c)
 	b.Design = "hybrid"
 
 	// Attribute each pair's residual crossing of a duct to the endpoint
 	// whose side of the path the duct lies on: crossings in the first
 	// half bundle at the source, the rest at the destination.
-	type group struct {
-		duct     int
-		endpoint int
+	if ca.counts == nil {
+		ca.counts = make(map[hybridGroup]int)
+		ca.savedByDuct = make(map[int]int)
 	}
-	counts := make(map[group]int)
+	counts := ca.counts
+	clear(counts)
 	for pair, info := range pl.Paths {
 		half := len(info.Ducts) / 2
 		for i, duct := range info.Ducts {
@@ -191,10 +228,11 @@ func Hybrid(pl *plan.Plan, c Catalog) Breakdown {
 			if i >= half {
 				end = pair.B
 			}
-			counts[group{duct, end}]++
+			counts[hybridGroup{duct, end}]++
 		}
 	}
-	savedByDuct := make(map[int]int)
+	savedByDuct := ca.savedByDuct
+	clear(savedByDuct)
 	for g, k := range counts {
 		savedByDuct[g.duct] += k - (k+3)/4 // Observation 2: 4:1 bundling
 	}

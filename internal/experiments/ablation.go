@@ -52,6 +52,7 @@ type ClosRow struct {
 func ClosAblation(cfg ClosConfig) ([]ClosRow, error) {
 	prices := cost.Default()
 	var rows []ClosRow
+	planner := plan.NewPlanner() // reused arena; rows only read pl within the iteration
 	for _, seed := range cfg.MapSeeds {
 		for _, n := range cfg.Ns {
 			gcfg := fibermap.DefaultGen()
@@ -67,7 +68,7 @@ func ClosAblation(cfg ClosConfig) ([]ClosRow, error) {
 			for _, dc := range dcs {
 				caps[dc] = cfg.F
 			}
-			pl, err := plan.New(plan.Input{Map: m, Capacity: caps, Lambda: cfg.Lambda})
+			pl, err := planner.Plan(plan.Input{Map: m, Capacity: caps, Lambda: cfg.Lambda})
 			if err != nil {
 				return nil, err
 			}
@@ -155,6 +156,7 @@ type WSSRow struct {
 // WSSAblation evaluates the pure wavelength-switched design's obstacles.
 func WSSAblation(cfg WSSConfig) ([]WSSRow, error) {
 	var rows []WSSRow
+	planner := plan.NewPlanner() // reused arena; rows only read pl within the iteration
 	for _, seed := range cfg.MapSeeds {
 		for _, n := range cfg.Ns {
 			gcfg := fibermap.DefaultGen()
@@ -170,7 +172,7 @@ func WSSAblation(cfg WSSConfig) ([]WSSRow, error) {
 			for _, dc := range dcs {
 				caps[dc] = cfg.F
 			}
-			pl, err := plan.New(plan.Input{Map: m, Capacity: caps, Lambda: cfg.Lambda})
+			pl, err := planner.Plan(plan.Input{Map: m, Capacity: caps, Lambda: cfg.Lambda})
 			if err != nil {
 				return nil, err
 			}

@@ -47,6 +47,10 @@ type CentralRow struct {
 func CentralVsDistributed(cfg CentralConfig) ([]CentralRow, error) {
 	prices := cost.Default()
 	var rows []CentralRow
+	// Both plans are read while pricing a row, so each routing mode keeps
+	// its own reusable arena.
+	distPlanner := plan.NewPlanner()
+	centPlanner := plan.NewPlanner()
 	for _, seed := range cfg.MapSeeds {
 		gcfg := fibermap.DefaultGen()
 		gcfg.Seed = seed
@@ -63,11 +67,11 @@ func CentralVsDistributed(cfg CentralConfig) ([]CentralRow, error) {
 		}
 		h1, h2 := fibermap.ChooseHubs(m, cfg.HubSpreadKM)
 
-		dist, err := plan.New(plan.Input{Map: m, Capacity: caps, Lambda: cfg.Lambda})
+		dist, err := distPlanner.Plan(plan.Input{Map: m, Capacity: caps, Lambda: cfg.Lambda})
 		if err != nil {
 			return nil, fmt.Errorf("map %d distributed: %w", seed, err)
 		}
-		cent, err := plan.New(plan.Input{
+		cent, err := centPlanner.Plan(plan.Input{
 			Map: m, Capacity: caps, Lambda: cfg.Lambda, ViaHubs: []int{h1, h2},
 		})
 		if err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"iris/internal/cost"
 	"iris/internal/fibermap"
@@ -98,7 +99,21 @@ type SweepRow struct {
 
 // planNew is the planner entry point behind an indirection so tests can
 // count or fail invocations. It must be swapped only before Sweep runs.
-var planNew = plan.New
+var planNew = (*plan.Planner).Plan
+
+// sweepWorkspace is one worker's pair of reusable planner arenas: the
+// failure-tolerant plan and its 0-failure baseline are alive at the same
+// time while a row is priced, so each needs its own Planner (a Planner's
+// result is overwritten by its next Plan call). Consecutive λ rows of the
+// same (seed, n, f) region hit the planners' fingerprint and re-solve
+// allocation-free.
+type sweepWorkspace struct {
+	kf, zf *plan.Planner
+}
+
+var sweepPool = sync.Pool{New: func() any {
+	return &sweepWorkspace{kf: plan.NewPlanner(), zf: plan.NewPlanner()}
+}}
 
 // sweepRegion is one entry of the per-seed scenario cache: the generated
 // map with its DCs placed, and the planner's base graph whose memoised
@@ -195,8 +210,10 @@ func Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		rsp := root.Child("row")
 		rsp.SetAttr(fmt.Sprintf("seed=%d n=%d f=%d lambda=%d", sc.MapSeed, sc.N, sc.F, sc.Lambda))
 		defer rsp.Finish()
+		ws := sweepPool.Get().(*sweepWorkspace)
+		defer sweepPool.Put(ws)
 		in := plan.Input{Map: reg.m, Base: reg.base, Capacity: caps, Lambda: sc.Lambda, MaxFailures: cfg.MaxFailures, Span: rsp}
-		pl, err := planNew(in)
+		pl, err := planNew(ws.kf, in)
 		if err != nil {
 			rsp.Fail(err)
 			return fmt.Errorf("map %d n=%d f=%d λ=%d: %w", sc.MapSeed, sc.N, sc.F, sc.Lambda, err)
@@ -214,7 +231,7 @@ func Sweep(cfg SweepConfig) ([]SweepRow, error) {
 			in0 := in
 			in0.MaxFailures = 0
 			in0.Span = nil // the baseline's stages would shadow the main plan's
-			pl0, err = planNew(in0)
+			pl0, err = planNew(ws.zf, in0)
 			if err != nil {
 				rsp.Fail(err)
 				return fmt.Errorf("map %d n=%d f=%d λ=%d (0 failures): %w", sc.MapSeed, sc.N, sc.F, sc.Lambda, err)

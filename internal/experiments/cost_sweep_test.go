@@ -41,11 +41,11 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 // computed, so Sweep must invoke the planner exactly once per scenario
 // (and exactly twice when a separate 0-failure baseline is really needed).
 func TestSweepPlanInvocations(t *testing.T) {
-	defer func() { planNew = plan.New }()
+	defer func() { planNew = (*plan.Planner).Plan }()
 	var calls atomic.Int64
-	planNew = func(in plan.Input) (*plan.Plan, error) {
+	planNew = func(p *plan.Planner, in plan.Input) (*plan.Plan, error) {
 		calls.Add(1)
-		return plan.New(in)
+		return p.Plan(in)
 	}
 
 	cfg := SweepConfig{
@@ -80,13 +80,13 @@ func TestSweepPlanInvocations(t *testing.T) {
 // reported is the serial-order first failing scenario, wrapped with its
 // grid coordinates, at any parallelism.
 func TestSweepFirstErrorWins(t *testing.T) {
-	defer func() { planNew = plan.New }()
+	defer func() { planNew = (*plan.Planner).Plan }()
 	sentinel := errors.New("injected planner failure")
-	planNew = func(in plan.Input) (*plan.Plan, error) {
+	planNew = func(p *plan.Planner, in plan.Input) (*plan.Plan, error) {
 		if in.Lambda == 64 {
 			return nil, sentinel
 		}
-		return plan.New(in)
+		return p.Plan(in)
 	}
 
 	for _, par := range []int{1, 4} {

@@ -39,6 +39,10 @@ func (e Edge) Other(n int) int {
 // Graph is a weighted undirected multigraph. The zero value is an empty
 // graph with no nodes; use New to size it.
 //
+// Edge IDs index a dense array, so they should be small non-negative
+// integers (the planner's duct IDs are); an ID of x costs O(x) index
+// memory regardless of edge count.
+//
 // A Graph is safe for concurrent reads (including Dijkstra, whose
 // memoised trees are published under an internal lock) once construction
 // is complete; mutating it (AddEdge) concurrently with any other use is
@@ -46,21 +50,21 @@ func (e Edge) Other(n int) int {
 type Graph struct {
 	n     int
 	edges []Edge
-	byID  map[int]int // edge ID -> index in edges
-	adj   [][]int     // node -> indices into edges
+	byID  []int32 // edge ID -> index in edges, -1 when absent
+	adj   [][]int // node -> indices into edges
+	minW  float64 // smallest positive edge weight: the bucket quantum
 
 	// sptMu guards spt, the per-source memo of Dijkstra trees. Mutation
 	// (AddEdge) invalidates the whole memo.
 	sptMu sync.Mutex
-	spt   map[int]*ShortestPathTree
+	spt   []*ShortestPathTree
 }
 
 // New returns an empty graph with n nodes and no edges.
 func New(n int) *Graph {
 	return &Graph{
-		n:    n,
-		byID: make(map[int]int),
-		adj:  make([][]int, n),
+		n:   n,
+		adj: make([][]int, n),
 	}
 }
 
@@ -79,12 +83,21 @@ func (g *Graph) AddEdge(id, u, v int, w float64) {
 	if w < 0 || math.IsNaN(w) {
 		panic(fmt.Sprintf("graph: edge %d has invalid weight %v", id, w))
 	}
-	if _, dup := g.byID[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("graph: negative edge ID %d", id))
+	}
+	for id >= len(g.byID) {
+		g.byID = append(g.byID, -1)
+	}
+	if g.byID[id] >= 0 {
 		panic(fmt.Sprintf("graph: duplicate edge ID %d", id))
 	}
 	idx := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, W: w})
-	g.byID[id] = idx
+	g.byID[id] = int32(idx)
+	if w > 0 && (g.minW == 0 || w < g.minW) {
+		g.minW = w
+	}
 	g.adj[u] = append(g.adj[u], idx)
 	if v != u {
 		g.adj[v] = append(g.adj[v], idx)
@@ -101,12 +114,26 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // EdgeByID returns the edge with the given ID.
 func (g *Graph) EdgeByID(id int) (Edge, bool) {
-	idx, ok := g.byID[id]
+	idx, ok := g.EdgeIndex(id)
 	if !ok {
 		return Edge{}, false
 	}
 	return g.edges[idx], true
 }
+
+// EdgeIndex returns the position of edge id in Edges(). Indices are what
+// the arena Dijkstra's skip filter is keyed by: they are dense, so a
+// []bool can stand in for a set of removed ducts.
+func (g *Graph) EdgeIndex(id int) (int, bool) {
+	if id < 0 || id >= len(g.byID) || g.byID[id] < 0 {
+		return 0, false
+	}
+	return int(g.byID[id]), true
+}
+
+// MaxEdgeID returns the largest edge ID present, or -1 for an edgeless
+// graph. Callers sizing per-duct arenas use it as the slab bound.
+func (g *Graph) MaxEdgeID() int { return len(g.byID) - 1 }
 
 // Neighbors calls fn for every edge incident to node n.
 func (g *Graph) Neighbors(n int, fn func(Edge)) {
@@ -124,8 +151,11 @@ func (g *Graph) WithoutEdges(removed map[int]bool) *Graph {
 	h := &Graph{
 		n:     g.n,
 		edges: make([]Edge, 0, len(g.edges)),
-		byID:  make(map[int]int, len(g.edges)),
+		byID:  make([]int32, len(g.byID)),
 		adj:   make([][]int, g.n),
+	}
+	for i := range h.byID {
+		h.byID[i] = -1
 	}
 	for _, e := range g.edges {
 		if removed[e.ID] {
@@ -133,7 +163,10 @@ func (g *Graph) WithoutEdges(removed map[int]bool) *Graph {
 		}
 		idx := len(h.edges)
 		h.edges = append(h.edges, e)
-		h.byID[e.ID] = idx
+		h.byID[e.ID] = int32(idx)
+		if e.W > 0 && (h.minW == 0 || e.W < h.minW) {
+			h.minW = e.W
+		}
 		h.adj[e.U] = append(h.adj[e.U], idx)
 		if e.V != e.U {
 			h.adj[e.V] = append(h.adj[e.V], idx)
@@ -168,7 +201,8 @@ type ShortestPathTree struct {
 // accessors only read). Concurrent Dijkstra calls on one graph are safe.
 func (g *Graph) Dijkstra(source int) *ShortestPathTree {
 	g.sptMu.Lock()
-	if t, ok := g.spt[source]; ok {
+	if g.spt != nil && g.spt[source] != nil {
+		t := g.spt[source]
 		g.sptMu.Unlock()
 		return t
 	}
@@ -180,11 +214,11 @@ func (g *Graph) Dijkstra(source int) *ShortestPathTree {
 	defer g.sptMu.Unlock()
 	// Two goroutines may have raced to compute the same source; keep the
 	// published tree so every caller shares one (identical) result.
-	if prev, ok := g.spt[source]; ok {
-		return prev
-	}
 	if g.spt == nil {
-		g.spt = make(map[int]*ShortestPathTree)
+		g.spt = make([]*ShortestPathTree, g.n)
+	}
+	if prev := g.spt[source]; prev != nil {
+		return prev
 	}
 	g.spt[source] = t
 	return t
@@ -321,6 +355,29 @@ func (t *ShortestPathTree) PathTo(v int) (nodes []int, edges []Edge, ok bool) {
 	nodes = append(nodes, t.Source)
 	reverseInts(nodes)
 	reverseEdges(edges)
+	return nodes, edges, true
+}
+
+// AppendPathTo is PathTo into caller-owned buffers: the path's nodes and
+// edges are appended to the given slices (source first) and the extended
+// slices returned, so a warmed caller extracts paths without allocating.
+// ok is false when v is unreachable, in which case the slices are
+// returned unchanged.
+func (t *ShortestPathTree) AppendPathTo(v int, nodes []int, edges []Edge) (_ []int, _ []Edge, ok bool) {
+	if math.IsInf(t.Dist[v], 1) {
+		return nodes, edges, false
+	}
+	n0, e0 := len(nodes), len(edges)
+	for v != t.Source {
+		idx := t.prevEdge[v]
+		e := t.g.edges[idx]
+		edges = append(edges, e)
+		nodes = append(nodes, v)
+		v = e.Other(v)
+	}
+	nodes = append(nodes, t.Source)
+	reverseInts(nodes[n0:])
+	reverseEdges(edges[e0:])
 	return nodes, edges, true
 }
 

@@ -3,9 +3,7 @@ package plan
 import (
 	"fmt"
 	"math"
-	"sort"
 
-	"iris/internal/hose"
 	"iris/internal/optics"
 )
 
@@ -22,7 +20,7 @@ func elementsFor(pr *pathRec) []optics.Element {
 			break
 		}
 		interior := pr.nodes[i+1]
-		if pr.bypass[interior] {
+		if pr.bypassed(interior) {
 			continue
 		}
 		el = append(el, optics.Element{Kind: optics.OSS})
@@ -61,7 +59,7 @@ func ossTraversals(pr *pathRec) int {
 	n := 2
 	for i := 0; i < len(pr.ducts)-1; i++ {
 		v := pr.nodes[i+1]
-		if pr.bypass[v] {
+		if pr.bypassed(v) {
 			continue
 		}
 		n++
@@ -82,20 +80,28 @@ func reconfigViolated(pr *pathRec) bool {
 // segment-loss constraint (TC1), score every candidate amplifier location
 // by constraint resolutions per newly needed amplifier and place greedily
 // at the best one. Amplifier counts accumulate across scenarios in
-// p.amps (amplifiers are physical installations shared by all scenarios).
-func (p *planner) placeAmps(paths []*pathRec) error {
-	pending := make([]*pathRec, 0)
-	for _, pr := range paths {
-		if segmentLossViolated(pr) {
-			pending = append(pending, pr)
+// p.ampsArr (amplifiers are physical installations shared by all
+// scenarios). Candidate sets live in generation-stamped per-node lists,
+// so the loop allocates nothing once the planner is warm.
+func (p *Planner) placeAmps(recs []pathRec) error {
+	pend := p.pend[:0]
+	for i := range recs {
+		if segmentLossViolated(&recs[i]) {
+			pend = append(pend, int32(i))
 		}
 	}
 
-	for len(pending) > 0 {
+	for len(pend) > 0 {
 		// Candidate locations: interior nodes whose amplifier would clear
 		// the path's segment-loss violation.
-		cands := make(map[int][]*pathRec)
-		for _, pr := range pending {
+		p.candSeq++
+		if p.candSeq == 0 { // stamp wraparound: invalidate all marks
+			clear(p.candGen)
+			p.candSeq = 1
+		}
+		p.candNodes = p.candNodes[:0]
+		for _, ri := range pend {
+			pr := &recs[ri]
 			if pr.ampNode >= 0 {
 				// TC2 allows one inline amplifier; a path that still
 				// violates TC1 with its amp placed is unfixable.
@@ -107,7 +113,12 @@ func (p *planner) placeAmps(paths []*pathRec) error {
 			found := false
 			for _, v := range pr.nodes[1 : len(pr.nodes)-1] {
 				if ampResolves(pr, v) {
-					cands[v] = append(cands[v], pr)
+					if p.candGen[v] != p.candSeq {
+						p.candGen[v] = p.candSeq
+						p.candOf[v] = p.candOf[v][:0]
+						p.candNodes = append(p.candNodes, int32(v))
+					}
+					p.candOf[v] = append(p.candOf[v], ri)
 					found = true
 				}
 			}
@@ -117,38 +128,44 @@ func (p *planner) placeAmps(paths []*pathRec) error {
 					pr.pair.A, pr.pair.B, pr.totalKM))
 			}
 		}
-		if len(cands) == 0 {
+		if len(p.candNodes) == 0 {
 			// Everything left is unfixable and has been recorded.
+			p.pend = pend
 			return nil
 		}
 
-		best := pickAmpLocation(p, cands)
-		for _, pr := range cands[best] {
-			pr.ampNode = best
+		best := p.pickAmpLocation(recs)
+		for _, ri := range p.candOf[best] {
+			recs[ri].ampNode = best
 		}
 
 		// Amplifiers at a site amplify one fiber each; the site needs as
 		// many as the worst-case load of the pairs amplified there (§4.1
 		// applied to amplifier demand, per Appendix A).
-		var ampedPairs []hose.Pair
-		for _, pr := range paths {
-			if pr.ampNode == best {
-				ampedPairs = append(ampedPairs, pr.pair)
+		p.idxBuf = p.idxBuf[:0]
+		for i := range recs {
+			if recs[i].ampNode == best {
+				p.idxBuf = append(p.idxBuf, recs[i].pairIdx)
 			}
 		}
-		need := int(math.Ceil(hose.WorstCaseLoad(p.caps, ampedPairs) - 1e-9))
-		if need > p.amps[best] {
-			p.amps[best] = need
+		need := int(math.Ceil(p.cachedLoad(p.idxBuf) - 1e-9))
+		if need > p.ampsArr[best] {
+			if p.ampsArr[best] == 0 {
+				p.ampsTouched = append(p.ampsTouched, int32(best))
+			}
+			p.ampsArr[best] = need
 		}
 
-		var still []*pathRec
-		for _, pr := range pending {
-			if segmentLossViolated(pr) && pr.ampNode < 0 {
-				still = append(still, pr)
+		k := 0
+		for _, ri := range pend {
+			if segmentLossViolated(&recs[ri]) && recs[ri].ampNode < 0 {
+				pend[k] = ri
+				k++
 			}
 		}
-		pending = still
+		pend = pend[:k]
 	}
+	p.pend = pend
 	return nil
 }
 
@@ -166,24 +183,20 @@ func ampResolves(pr *pathRec, v int) bool {
 // amplifier that must be newly installed, preferring sites whose existing
 // amplifiers (from earlier scenarios) can be reused for free. Ties break
 // on more paths resolved, then the smaller node ID, keeping the greedy
-// pass deterministic.
-func pickAmpLocation(p *planner, cands map[int][]*pathRec) int {
-	nodes := make([]int, 0, len(cands))
-	for v := range cands {
-		nodes = append(nodes, v)
-	}
-	sort.Ints(nodes)
-
+// pass deterministic regardless of candidate discovery order.
+func (p *Planner) pickAmpLocation(recs []pathRec) int {
 	best := -1
 	var bestScore float64
 	bestResolved := 0
-	for _, v := range nodes {
-		var pairs []hose.Pair
-		for _, pr := range cands[v] {
-			pairs = append(pairs, pr.pair)
+	for _, v32 := range p.candNodes {
+		v := int(v32)
+		cl := p.candOf[v]
+		p.idxBuf = p.idxBuf[:0]
+		for _, ri := range cl {
+			p.idxBuf = append(p.idxBuf, recs[ri].pairIdx)
 		}
-		noa := int(math.Ceil(hose.WorstCaseLoad(p.caps, pairs) - 1e-9))
-		ntbp := noa - p.amps[v]
+		noa := int(math.Ceil(p.cachedLoad(p.idxBuf) - 1e-9))
+		ntbp := noa - p.ampsArr[v]
 		if ntbp < 0 {
 			ntbp = 0
 		}
@@ -191,11 +204,12 @@ func pickAmpLocation(p *planner, cands map[int][]*pathRec) int {
 		if ntbp == 0 {
 			score = math.Inf(1) // free: existing amplifiers suffice
 		} else {
-			score = float64(len(cands[v])) / float64(ntbp)
+			score = float64(len(cl)) / float64(ntbp)
 		}
 		if best < 0 || score > bestScore ||
-			(score == bestScore && len(cands[v]) > bestResolved) {
-			best, bestScore, bestResolved = v, score, len(cands[v])
+			(score == bestScore && len(cl) > bestResolved) ||
+			(score == bestScore && len(cl) == bestResolved && v < best) {
+			best, bestScore, bestResolved = v, score, len(cl)
 		}
 	}
 	return best

@@ -1,0 +1,881 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"time"
+
+	"iris/internal/fibermap"
+	"iris/internal/graph"
+	"iris/internal/hose"
+	"iris/internal/optics"
+)
+
+// This file is the planner's arena: a Planner owns every slab the
+// planning pipeline touches — routing records, Dijkstra trees, per-duct
+// crossing tables, the hose-load memo, cut-through identities — and
+// reuses them across Plan calls, so a warmed solve performs no heap
+// allocation. The generation-stamp idiom (a per-entry stamp compared
+// against a run counter, with a touched list for sparse reset) comes
+// from core's incremental AllocState and is applied to every per-
+// scenario structure; set-valued keys that were formatted strings in
+// the map-based planner (scenario cut sets, hose pair signatures,
+// cut-through identities) are interned in seqIndex tables instead.
+
+// seqIndex interns []int32 sequences: equal sequences get the same
+// dense ID, assigned in first-seen order. Keys live in one flat slab
+// and the hash table is open-addressed, so steady-state interning of a
+// known sequence allocates nothing.
+type seqIndex struct {
+	slab  []int32 // concatenated keys, in ID order
+	off   []int32 // off[id] = start of key id in slab
+	table []int32 // open addressing; value is id+1, 0 means empty
+}
+
+func (s *seqIndex) reset() {
+	s.slab = s.slab[:0]
+	s.off = s.off[:0]
+	clear(s.table)
+}
+
+func (s *seqIndex) len() int { return len(s.off) }
+
+// key returns the interned sequence for an ID. The slice aliases the
+// slab and is invalidated by the next intern that grows it.
+func (s *seqIndex) key(id int) []int32 {
+	end := int32(len(s.slab))
+	if id+1 < len(s.off) {
+		end = s.off[id+1]
+	}
+	return s.slab[s.off[id]:end]
+}
+
+func hashSeq(key []int32) uint32 {
+	h := uint64(14695981039346656037) // FNV-1a
+	for _, v := range key {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return uint32(h ^ h>>32)
+}
+
+// intern returns the ID for key, adding it if absent. added reports
+// whether this call created the entry.
+func (s *seqIndex) intern(key []int32) (id int, added bool) {
+	if len(s.table) == 0 {
+		s.table = make([]int32, 64)
+	}
+	if (len(s.off)+1)*4 >= len(s.table)*3 {
+		s.grow()
+	}
+	mask := uint32(len(s.table) - 1)
+	i := hashSeq(key) & mask
+	for {
+		v := s.table[i]
+		if v == 0 {
+			id = len(s.off)
+			s.off = append(s.off, int32(len(s.slab)))
+			s.slab = append(s.slab, key...)
+			s.table[i] = int32(id + 1)
+			return id, true
+		}
+		if id = int(v - 1); s.keyEqual(id, key) {
+			return id, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *seqIndex) keyEqual(id int, key []int32) bool {
+	k := s.key(id)
+	if len(k) != len(key) {
+		return false
+	}
+	for i := range k {
+		if k[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *seqIndex) grow() {
+	old := len(s.table)
+	if old == 0 {
+		old = 32
+	}
+	s.table = make([]int32, old*2)
+	mask := uint32(len(s.table) - 1)
+	for id := range s.off {
+		i := hashSeq(s.key(id)) & mask
+		for s.table[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.table[i] = int32(id + 1)
+	}
+}
+
+// swap16 reorders a value's low two bytes so that comparing swapped
+// values reproduces byte-lexicographic order over the little-endian
+// 16-bit packing the legacy string keys used. IDs above 65535 truncate
+// exactly as the byte packing did.
+func swap16(v int32) int32 { return (v&0xff)<<8 | (v>>8)&0xff }
+
+// packedCmp orders two ID sequences the way their packed string keys
+// sorted: element-wise on swapped 16-bit values, shorter prefix first.
+// Cut-through selection and output ordering depend on it matching the
+// historical order bit for bit.
+func packedCmp(a, b []int32) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		av, bv := swap16(a[i]), swap16(b[i])
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// Planning-stage indices for the fixed timing accumulators, aligned
+// with stageOrder.
+const (
+	stRoute = iota
+	stAmps
+	stCutthrough
+	stProvision
+	stTotal
+	nStages
+)
+
+// crossEntry is one DC pair's crossing count on a duct within a
+// scenario (hub walks may cross a duct more than once).
+type crossEntry struct {
+	pairIdx int32
+	count   int32
+}
+
+type slaRec struct {
+	pair    hose.Pair
+	totalKM float64
+	cutOff  int32 // into slaCuts
+	cutLen  int32
+}
+
+// ctIterCand is one candidate cut-through within a placement iteration;
+// its identity (from, to, duct sequence) is the interned key, its
+// interior nodes live in ctIterInterior.
+type ctIterCand struct {
+	intOff, intLen int32
+}
+
+// ctRec is a cut-through committed to the plan; duct and interior lists
+// live in the planner's flat slabs until finish materialises them.
+type ctRec struct {
+	from, to         int
+	ductOff, ductLen int32
+	intOff, intLen   int32
+	pairs            int
+}
+
+// Planner is a reusable arena-backed planning workspace. One Planner
+// re-solving the same region (same Map, Base, capacities, failure
+// tolerance and hubs) retains its hose-load memo, pair tables and
+// shortest-path state between calls and plans without allocating; when
+// any of those inputs change it transparently re-validates and rebuilds.
+// Lambda and Span may vary freely between calls — neither affects the
+// planning arena.
+//
+// The Plan returned by Plan aliases the workspace: its maps, slices and
+// the structs they point to are overwritten by the next Plan call on
+// the same Planner. Callers that need the previous result afterwards
+// must use a fresh Planner (or the package-level New). A Planner is not
+// safe for concurrent use; the fiber map and base graph must not be
+// mutated between calls that expect reuse (mutation of Input.Map is not
+// detected; growing the base graph is).
+type Planner struct {
+	in   Input
+	plan Plan
+
+	// Region-shaped state, rebuilt by prepare on fingerprint miss.
+	prepared bool
+	base     *graph.Graph
+	dcs      []int
+	nDC      int
+	caps     map[int]float64 // DC -> capacity (float for hose calls)
+	pairAB   []hose.Pair     // pairIdx -> canonical pair
+	hubs     []int
+
+	// Fingerprint of the prepared region.
+	fpMap      *fibermap.Map
+	fpInBase   *graph.Graph // Input.Base as passed (nil if planner-built)
+	fpNumEdges int
+	fpMaxFail  int
+	fpCaps     []int // per dcs position
+
+	// Scenario enumeration.
+	seen      seqIndex
+	cutSorted []int32  // current cut, ascending duct IDs
+	cutMark   []bool   // per duct ID
+	skip      []bool   // per base edge index
+	usedMark  []uint32 // per duct ID, stamped by usedSeq
+	usedSeq   uint32
+	usedBuf   [][]int32 // per DFS depth
+
+	// Routing.
+	dijk     graph.Scratch
+	ownTrees []graph.ShortestPathTree
+	curTrees []*graph.ShortestPathTree
+	ownHub   []graph.ShortestPathTree
+	curHub   []*graph.ShortestPathTree
+	legN     []int
+	legE     []graph.Edge
+	recs     []pathRec // one slot per DC pair
+
+	// Hose-load memo, keyed by sorted pairIdx sequences. Survives
+	// across solves while the fingerprint holds — the dominant
+	// cross-solve win.
+	hoseIdx   seqIndex
+	hoseLoads []float64
+	idxBuf    []int32
+	pairsBuf  []hose.Pair
+
+	// Provisioning scratch (per duct ID).
+	cross     [][]crossEntry
+	crossGen  []uint32
+	crossSeq  uint32
+	residCnt  []int32
+	crossList []int32
+
+	// Amplifier placement scratch (per node).
+	pend        []int32
+	candOf      [][]int32
+	candGen     []uint32
+	candSeq     uint32
+	candNodes   []int32
+	ampsArr     []int
+	ampsTouched []int32
+
+	// Cut-through placement.
+	ctIter         seqIndex
+	ctIterCands    []ctIterCand
+	ctIterInterior []int
+	ctResolve      [][]int32
+	ctAll          seqIndex
+	ctRecs         []ctRec
+	ctDuctSlab     []int
+	ctIntSlab      []int
+	ctOrder        []int32
+	tmpKey         []int32
+	tmpInterior    []int
+
+	// Output arenas, handed to the Plan each solve.
+	ductSlab   []DuctUse
+	ductActive []bool
+	ductList   []int32
+	ductsOut   map[int]*DuctUse
+	pathInfos  []PathInfo
+	pathsOut   map[hose.Pair]*PathInfo
+	ampsOut    map[int]int
+	cutsOut    []CutThrough
+	slaRecs    []slaRec
+	slaCuts    []int
+	slaOut     []SLAViolation
+	stagesOut  []StageTiming
+	stageDur   [nStages]time.Duration
+	stageCalls [nStages]int
+}
+
+// NewPlanner returns an empty workspace; the first Plan call sizes it.
+func NewPlanner() *Planner { return &Planner{} }
+
+// Plan solves the input. See Planner for the aliasing and reuse
+// contract; the semantics and output are identical to New's.
+func (p *Planner) Plan(in Input) (*Plan, error) {
+	t0 := time.Now()
+	if !p.matches(in) {
+		if err := in.Validate(); err != nil {
+			return nil, err
+		}
+		if err := p.prepare(in); err != nil {
+			return nil, err
+		}
+	}
+	p.resetSolve(in)
+	if err := p.visit(0); err != nil {
+		return nil, err
+	}
+	p.finish(t0)
+	return &p.plan, nil
+}
+
+// matches reports whether the prepared arena fits the input, i.e. every
+// input that shapes planning is unchanged since prepare. Lambda is
+// excluded (validated but unused by planning); a non-positive Lambda
+// still forces the miss path so Validate reports it.
+func (p *Planner) matches(in Input) bool {
+	if !p.prepared || in.Map != p.fpMap || in.Base != p.fpInBase ||
+		in.MaxFailures != p.fpMaxFail || in.Lambda <= 0 {
+		return false
+	}
+	if p.base.NumEdges() != p.fpNumEdges {
+		return false
+	}
+	if len(in.ViaHubs) != len(p.hubs) {
+		return false
+	}
+	for i, h := range in.ViaHubs {
+		if h != p.hubs[i] {
+			return false
+		}
+	}
+	for i, dc := range p.dcs {
+		if c, ok := in.Capacity[dc]; !ok || c != p.fpCaps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare sizes every slab for the (already validated) input's region
+// and records its fingerprint. It is the only allocating path of a
+// steady-state Planner.
+func (p *Planner) prepare(in Input) error {
+	p.prepared = false
+	m := in.Map
+	p.dcs = m.DCs()
+	p.base = in.Base
+	if p.base == nil {
+		p.base = BaseGraph(m)
+	}
+
+	// Reject regions that are disconnected even before any failure.
+	// Connectivity is a property of the base graph, so the check belongs
+	// to prepare: a fingerprint hit implies it already passed.
+	labels := p.base.Components()
+	for _, dc := range p.dcs[1:] {
+		if labels[dc] != labels[p.dcs[0]] {
+			return fmt.Errorf("plan: DCs %d and %d are not connected by usable ducts", p.dcs[0], dc)
+		}
+	}
+
+	nNodes := p.base.NumNodes()
+	nEdges := p.base.NumEdges()
+	nDucts := p.base.MaxEdgeID() + 1
+	p.nDC = len(p.dcs)
+	nPairs := p.nDC * (p.nDC - 1) / 2
+
+	p.caps = make(map[int]float64, p.nDC)
+	p.fpCaps = make([]int, p.nDC)
+	for i, dc := range p.dcs {
+		c := in.Capacity[dc]
+		p.caps[dc] = float64(c)
+		p.fpCaps[i] = c
+	}
+	p.pairAB = p.pairAB[:0]
+	for i := 0; i < p.nDC; i++ {
+		for j := i + 1; j < p.nDC; j++ {
+			p.pairAB = append(p.pairAB, hose.Pair{A: p.dcs[i], B: p.dcs[j]})
+		}
+	}
+	p.hubs = append(p.hubs[:0], in.ViaHubs...)
+
+	p.cutSorted = make([]int32, 0, in.MaxFailures+1)
+	p.cutMark = make([]bool, nDucts)
+	p.skip = make([]bool, nEdges)
+	p.usedMark = make([]uint32, nDucts)
+	p.usedSeq = 0
+
+	p.ownTrees = make([]graph.ShortestPathTree, p.nDC)
+	p.curTrees = make([]*graph.ShortestPathTree, p.nDC)
+	p.ownHub = make([]graph.ShortestPathTree, len(p.hubs))
+	p.curHub = make([]*graph.ShortestPathTree, len(p.hubs))
+	p.recs = make([]pathRec, nPairs)
+
+	p.hoseIdx.reset()
+	p.hoseLoads = p.hoseLoads[:0]
+
+	p.cross = make([][]crossEntry, nDucts)
+	p.crossGen = make([]uint32, nDucts)
+	p.crossSeq = 0
+	p.residCnt = make([]int32, nDucts)
+
+	p.candOf = make([][]int32, nNodes)
+	p.candGen = make([]uint32, nNodes)
+	p.candSeq = 0
+	p.ampsArr = make([]int, nNodes)
+	p.ampsTouched = p.ampsTouched[:0]
+
+	p.ductSlab = make([]DuctUse, nDucts)
+	p.ductActive = make([]bool, nDucts)
+	p.ductList = p.ductList[:0]
+	p.ductsOut = make(map[int]*DuctUse)
+	p.pathInfos = make([]PathInfo, nPairs)
+	p.pathsOut = make(map[hose.Pair]*PathInfo, nPairs)
+	p.ampsOut = make(map[int]int)
+
+	p.fpMap = m
+	p.fpInBase = in.Base
+	p.fpNumEdges = nEdges
+	p.fpMaxFail = in.MaxFailures
+	p.prepared = true
+	return nil
+}
+
+// resetSolve clears the per-solve state, touching only what the last
+// solve used.
+func (p *Planner) resetSolve(in Input) {
+	p.in = in
+	p.plan = Plan{Input: in, DCs: p.dcs}
+	for _, id := range p.ductList {
+		p.ductActive[id] = false
+		p.ductSlab[id] = DuctUse{}
+	}
+	p.ductList = p.ductList[:0]
+	for _, v := range p.ampsTouched {
+		p.ampsArr[v] = 0
+	}
+	p.ampsTouched = p.ampsTouched[:0]
+	clear(p.ductsOut)
+	clear(p.pathsOut)
+	clear(p.ampsOut)
+	p.cutsOut = p.cutsOut[:0]
+	p.slaRecs = p.slaRecs[:0]
+	p.slaCuts = p.slaCuts[:0]
+	p.slaOut = p.slaOut[:0]
+	p.stagesOut = p.stagesOut[:0]
+	p.ctAll.reset()
+	p.ctRecs = p.ctRecs[:0]
+	p.ctDuctSlab = p.ctDuctSlab[:0]
+	p.ctIntSlab = p.ctIntSlab[:0]
+	p.seen.reset()
+	p.cutSorted = p.cutSorted[:0]
+	// The DFS unwinds these in lockstep, but an errored solve may have
+	// bailed mid-descent; clearing is cheap insurance.
+	clear(p.cutMark)
+	clear(p.skip)
+	for i := range p.stageDur {
+		p.stageDur[i] = 0
+		p.stageCalls[i] = 0
+	}
+}
+
+func (p *Planner) timeStage(stage int, start time.Time) {
+	p.stageDur[stage] += time.Since(start)
+	p.stageCalls[stage]++
+}
+
+// pairIdx maps DC positions i<j (in dcs order) to the dense pair index;
+// the enumeration order makes ascending indices coincide with ascending
+// (A, B) pairs, which cachedLoad's key ordering relies on.
+func (p *Planner) pairIdx(i, j int) int32 {
+	return int32(i*p.nDC - i*(i+1)/2 + j - i - 1)
+}
+
+// visit is the pruned scenario DFS: a cut of a duct no chosen path uses
+// leaves every path — and hence all provisioning — unchanged, so only
+// used ducts seed the next cut. With deterministic tie-breaking,
+// removing an unused duct cannot alter which paths Dijkstra selects,
+// making the pruning exact.
+func (p *Planner) visit(depth int) error {
+	if _, added := p.seen.intern(p.cutSorted); !added {
+		return nil
+	}
+	p.plan.NScena++
+	for depth >= len(p.usedBuf) {
+		p.usedBuf = append(p.usedBuf, nil)
+	}
+	used, err := p.scenario(p.usedBuf[depth][:0])
+	p.usedBuf[depth] = used
+	if err != nil {
+		return err
+	}
+	if depth >= p.fpMaxFail {
+		return nil
+	}
+	for _, d := range used {
+		if p.cutMark[d] {
+			continue
+		}
+		p.pushCut(int(d))
+		err := p.visit(depth + 1)
+		p.popCut(int(d))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Planner) pushCut(d int) {
+	p.cutMark[d] = true
+	if idx, ok := p.base.EdgeIndex(d); ok {
+		p.skip[idx] = true
+	}
+	p.cutSorted = append(p.cutSorted, int32(d))
+	for i := len(p.cutSorted) - 1; i > 0 && p.cutSorted[i-1] > p.cutSorted[i]; i-- {
+		p.cutSorted[i-1], p.cutSorted[i] = p.cutSorted[i], p.cutSorted[i-1]
+	}
+}
+
+func (p *Planner) popCut(d int) {
+	p.cutMark[d] = false
+	if idx, ok := p.base.EdgeIndex(d); ok {
+		p.skip[idx] = false
+	}
+	for i, v := range p.cutSorted {
+		if v == int32(d) {
+			p.cutSorted = append(p.cutSorted[:i], p.cutSorted[i+1:]...)
+			break
+		}
+	}
+}
+
+// scenario processes one failure scenario end to end: routing, amps,
+// cut-throughs, capacity. It appends the duct IDs used by any chosen
+// path to used (sorted), which drives the pruned enumeration.
+func (p *Planner) scenario(used []int32) ([]int32, error) {
+	var skip []bool
+	if len(p.cutSorted) > 0 {
+		skip = p.skip
+	}
+
+	start := time.Now()
+	recs := p.recs[:p.routeAll(skip)]
+	p.timeStage(stRoute, start)
+
+	start = time.Now()
+	if err := p.placeAmps(recs); err != nil {
+		return used, err
+	}
+	p.timeStage(stAmps, start)
+
+	start = time.Now()
+	if err := p.placeCutThroughs(recs); err != nil {
+		return used, err
+	}
+	p.timeStage(stCutthrough, start)
+
+	// Provisioning runs after cut-through placement: traffic on a
+	// cut-through fiber does not also consume switched base capacity on
+	// the ducts it bypasses.
+	start = time.Now()
+	p.provision(recs)
+	p.timeStage(stProvision, start)
+	if len(p.cutSorted) == 0 {
+		p.recordBasePaths(recs)
+	}
+
+	p.usedSeq++
+	if p.usedSeq == 0 { // stamp wraparound: invalidate all marks
+		clear(p.usedMark)
+		p.usedSeq = 1
+	}
+	for i := range recs {
+		for _, e := range recs[i].ducts {
+			if p.usedMark[e.ID] != p.usedSeq {
+				p.usedMark[e.ID] = p.usedSeq
+				used = append(used, int32(e.ID))
+			}
+		}
+	}
+	slices.Sort(used)
+	return used, nil
+}
+
+// routeAll computes every DC pair's route — shortest path in the
+// distributed design, best DC-hub-DC path in the centralized one — into
+// the rec slab, skipping pairs disconnected by the cuts and recording
+// SLA overruns. It returns the number of routed pairs. The failure-free
+// scenario (skip == nil) reads the base graph's memoised trees, which
+// are shared across solves and, through Input.Base, across planners.
+func (p *Planner) routeAll(skip []bool) int {
+	nr := 0
+	if len(p.hubs) > 0 {
+		for hi, h := range p.hubs {
+			if skip == nil {
+				p.curHub[hi] = p.base.Dijkstra(h)
+			} else {
+				p.curHub[hi] = p.base.DijkstraInto(h, skip, &p.ownHub[hi], &p.dijk)
+			}
+		}
+		for i := range p.dcs {
+			for j := i + 1; j < p.nDC; j++ {
+				a, b := p.dcs[i], p.dcs[j]
+				// Best DC-hub-DC walk; legs may share ducts (both DCs
+				// behind one trunk) and provisioning accounts for the
+				// double crossing.
+				best := graph.Inf
+				var bt *graph.ShortestPathTree
+				for _, t := range p.curHub {
+					if d := t.Dist[a] + t.Dist[b]; d < best && d < graph.Inf {
+						best, bt = d, t
+					}
+				}
+				if bt == nil {
+					continue
+				}
+				r := p.nextRec(&nr, i, j)
+				p.legN, p.legE, _ = bt.AppendPathTo(a, p.legN[:0], p.legE[:0])
+				for k := len(p.legN) - 1; k >= 0; k-- {
+					r.nodes = append(r.nodes, p.legN[k])
+				}
+				for k := len(p.legE) - 1; k >= 0; k-- {
+					r.ducts = append(r.ducts, p.legE[k])
+				}
+				p.legN, p.legE, _ = bt.AppendPathTo(b, p.legN[:0], p.legE[:0])
+				r.nodes = append(r.nodes, p.legN[1:]...)
+				r.ducts = append(r.ducts, p.legE...)
+				r.totalKM = best
+				if r.totalKM > optics.MaxPathKM+1e-9 {
+					p.recordSLA(r.pair, r.totalKM)
+				}
+			}
+		}
+		return nr
+	}
+
+	for di, dc := range p.dcs {
+		if skip == nil {
+			p.curTrees[di] = p.base.Dijkstra(dc)
+		} else {
+			p.curTrees[di] = p.base.DijkstraInto(dc, skip, &p.ownTrees[di], &p.dijk)
+		}
+	}
+	for i := range p.dcs {
+		t := p.curTrees[i]
+		for j := i + 1; j < p.nDC; j++ {
+			b := p.dcs[j]
+			if math.IsInf(t.Dist[b], 1) {
+				continue // cut disconnected this pair; no guarantee owed
+			}
+			r := p.nextRec(&nr, i, j)
+			r.nodes, r.ducts, _ = t.AppendPathTo(b, r.nodes, r.ducts)
+			r.totalKM = t.Dist[b]
+			if r.totalKM > optics.MaxPathKM+1e-9 {
+				p.recordSLA(r.pair, r.totalKM)
+			}
+		}
+	}
+	return nr
+}
+
+// nextRec claims the next rec slot for DC positions i<j, resetting its
+// reused slices.
+func (p *Planner) nextRec(nr *int, i, j int) *pathRec {
+	r := &p.recs[*nr]
+	*nr++
+	r.pair = hose.Pair{A: p.dcs[i], B: p.dcs[j]}
+	r.pairIdx = p.pairIdx(i, j)
+	r.nodes = r.nodes[:0]
+	r.ducts = r.ducts[:0]
+	r.totalKM = 0
+	r.ampNode = -1
+	r.bypass = r.bypass[:0]
+	r.cutDucts = r.cutDucts[:0]
+	return r
+}
+
+func (p *Planner) recordSLA(pair hose.Pair, totalKM float64) {
+	off := int32(len(p.slaCuts))
+	for _, d := range p.cutSorted {
+		p.slaCuts = append(p.slaCuts, int(d))
+	}
+	p.slaRecs = append(p.slaRecs, slaRec{
+		pair: pair, totalKM: totalKM, cutOff: off, cutLen: int32(len(p.cutSorted)),
+	})
+}
+
+// provision applies the Algorithm 1 capacity rule and the §4.3 residual
+// rule for one scenario, taking per-duct maxima against prior scenarios.
+// Pairs riding a cut-through contribute no switched base capacity to the
+// ducts it covers (the cut-through fiber carries them), but their
+// residual fiber still follows the full path.
+//
+// Centralized (via-hub) walks may cross a duct more than once; each
+// extra crossing is provisioned at the pair's full hose demand, a sound
+// upper bound on the exact (weighted) worst case.
+func (p *Planner) provision(recs []pathRec) {
+	p.crossSeq++
+	if p.crossSeq == 0 {
+		clear(p.crossGen)
+		p.crossSeq = 1
+	}
+	p.crossList = p.crossList[:0]
+	for ri := range recs {
+		pr := &recs[ri]
+		for _, e := range pr.ducts {
+			id := e.ID
+			if p.crossGen[id] != p.crossSeq {
+				p.crossGen[id] = p.crossSeq
+				p.cross[id] = p.cross[id][:0]
+				p.residCnt[id] = 0
+				p.crossList = append(p.crossList, int32(id))
+			}
+			p.residCnt[id]++
+			if !pr.onCutThrough(id) {
+				entries := p.cross[id]
+				found := false
+				for k := range entries {
+					if entries[k].pairIdx == pr.pairIdx {
+						entries[k].count++
+						found = true
+						break
+					}
+				}
+				if !found {
+					p.cross[id] = append(entries, crossEntry{pairIdx: pr.pairIdx, count: 1})
+				}
+			}
+		}
+	}
+	for _, id32 := range p.crossList {
+		id := int(id32)
+		if entries := p.cross[id]; len(entries) > 0 {
+			p.idxBuf = p.idxBuf[:0]
+			extra := 0.0
+			for _, en := range entries {
+				p.idxBuf = append(p.idxBuf, en.pairIdx)
+				if en.count > 1 {
+					pair := p.pairAB[en.pairIdx]
+					extra += float64(en.count-1) * math.Min(p.caps[pair.A], p.caps[pair.B])
+				}
+			}
+			load := p.cachedLoad(p.idxBuf) + extra
+			basePairs := int(math.Ceil(load - 1e-9))
+			du := p.ductUse(id)
+			if basePairs > du.BasePairs {
+				du.BasePairs = basePairs
+			}
+		}
+		if n := int(p.residCnt[id]); n > 0 {
+			du := p.ductUse(id)
+			if n > du.ResidualPairs {
+				du.ResidualPairs = n
+			}
+		}
+	}
+}
+
+// cachedLoad memoises hose.WorstCaseLoad over the planner's fixed DC
+// capacities, keyed by the sorted pair-index sequence (duplicates are
+// harmless: WorstCaseLoad coalesces them). idx is sorted in place. The
+// memo outlives individual solves, so a re-solved region pays for no
+// max-flow at all.
+func (p *Planner) cachedLoad(idx []int32) float64 {
+	slices.Sort(idx)
+	id, added := p.hoseIdx.intern(idx)
+	if !added {
+		return p.hoseLoads[id]
+	}
+	p.pairsBuf = p.pairsBuf[:0]
+	for _, pi := range idx {
+		p.pairsBuf = append(p.pairsBuf, p.pairAB[pi])
+	}
+	load := hose.WorstCaseLoad(p.caps, p.pairsBuf)
+	p.hoseLoads = append(p.hoseLoads, load)
+	return load
+}
+
+func (p *Planner) ductUse(id int) *DuctUse {
+	du := &p.ductSlab[id]
+	if !p.ductActive[id] {
+		p.ductActive[id] = true
+		du.DuctID = id
+		p.ductList = append(p.ductList, int32(id))
+	}
+	return du
+}
+
+// recordBasePaths captures the failure-free paths for circuit setup,
+// copying out of the scenario recs (which later scenarios overwrite)
+// into the per-pair PathInfo slab.
+func (p *Planner) recordBasePaths(recs []pathRec) {
+	for i := range recs {
+		pr := &recs[i]
+		info := &p.pathInfos[pr.pairIdx]
+		info.Pair = pr.pair
+		info.Nodes = append(info.Nodes[:0], pr.nodes...)
+		info.TotalKM = pr.totalKM
+		info.Ducts = info.Ducts[:0]
+		for _, e := range pr.ducts {
+			info.Ducts = append(info.Ducts, e.ID)
+		}
+		info.AmpNodes = info.AmpNodes[:0]
+		if pr.ampNode >= 0 {
+			info.AmpNodes = append(info.AmpNodes, pr.ampNode)
+		}
+		info.Bypassed = append(info.Bypassed[:0], pr.bypass...)
+		slices.Sort(info.Bypassed)
+		info.CutDucts = append(info.CutDucts[:0], pr.cutDucts...)
+		slices.Sort(info.CutDucts)
+		p.pathsOut[pr.pair] = info
+	}
+}
+
+// finish freezes the solve into p.plan: output maps refilled from the
+// touched lists, cut-throughs materialised in packed-key order, SLA
+// records resolved against the (now stable) cut slab, and stage timings
+// emitted in stageOrder.
+func (p *Planner) finish(t0 time.Time) {
+	for _, id := range p.ductList {
+		p.ductsOut[int(id)] = &p.ductSlab[id]
+	}
+	p.plan.Ducts = p.ductsOut
+	for _, v := range p.ampsTouched {
+		p.ampsOut[int(v)] = p.ampsArr[v]
+	}
+	p.plan.Amps = p.ampsOut
+	p.plan.Paths = p.pathsOut
+
+	p.ctOrder = p.ctOrder[:0]
+	for i := range p.ctRecs {
+		p.ctOrder = append(p.ctOrder, int32(i))
+	}
+	// Insertion sort by packed key: cut-through counts are small and a
+	// comparator closure would allocate.
+	for i := 1; i < len(p.ctOrder); i++ {
+		for j := i; j > 0 && packedCmp(p.ctAll.key(int(p.ctOrder[j])), p.ctAll.key(int(p.ctOrder[j-1]))) < 0; j-- {
+			p.ctOrder[j], p.ctOrder[j-1] = p.ctOrder[j-1], p.ctOrder[j]
+		}
+	}
+	for _, ci := range p.ctOrder {
+		ct := &p.ctRecs[ci]
+		p.cutsOut = append(p.cutsOut, CutThrough{
+			From:     ct.from,
+			To:       ct.to,
+			Ducts:    p.ctDuctSlab[ct.ductOff : ct.ductOff+ct.ductLen],
+			Interior: p.ctIntSlab[ct.intOff : ct.intOff+ct.intLen],
+			Pairs:    ct.pairs,
+		})
+	}
+	p.plan.Cuts = p.cutsOut
+
+	for _, r := range p.slaRecs {
+		p.slaOut = append(p.slaOut, SLAViolation{
+			Pair: r.pair, Cuts: p.slaCuts[r.cutOff : r.cutOff+r.cutLen], TotalKM: r.totalKM,
+		})
+	}
+	p.plan.SLA = p.slaOut
+
+	p.stageDur[stTotal] = time.Since(t0)
+	p.stageCalls[stTotal] = 1
+	for i := 0; i < nStages; i++ {
+		if p.stageCalls[i] > 0 {
+			p.stagesOut = append(p.stagesOut, StageTiming{
+				Stage: stageOrder[i], Duration: p.stageDur[i], Calls: p.stageCalls[i],
+			})
+		}
+	}
+	p.plan.Stages = p.stagesOut
+	if p.in.Span != nil {
+		for _, st := range p.plan.Stages {
+			c := p.in.Span.Child(st.Stage)
+			c.SetAttr(fmt.Sprintf("calls=%d", st.Calls))
+			c.FinishAs(t0, st.Duration)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package plan
+
+import (
+	"testing"
+
+	"iris/internal/fibermap"
+)
+
+// arenaInput builds a generated-region planning input.
+func arenaInput(t *testing.T, seed int64, n, f, maxFailures int) Input {
+	t.Helper()
+	gcfg := fibermap.DefaultGen()
+	gcfg.Seed = seed
+	m := fibermap.Generate(gcfg)
+	pcfg := fibermap.DefaultPlace()
+	pcfg.Seed, pcfg.N = seed, n
+	dcs, err := fibermap.PlaceDCs(m, pcfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	caps := make(map[int]int)
+	for _, dc := range dcs {
+		caps[dc] = f
+	}
+	return Input{Map: m, Capacity: caps, Lambda: 40, MaxFailures: maxFailures}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// plansIdentical asserts two plans agree on every output field, treating
+// nil and empty slices as equal (a reused arena returns empty slices
+// where a fresh solve returns nil).
+func plansIdentical(t *testing.T, label string, want, got *Plan) {
+	t.Helper()
+	if got.NScena != want.NScena {
+		t.Fatalf("%s: NScena %d != %d", label, got.NScena, want.NScena)
+	}
+	if len(got.Ducts) != len(want.Ducts) {
+		t.Fatalf("%s: %d ducts != %d", label, len(got.Ducts), len(want.Ducts))
+	}
+	for id, w := range want.Ducts {
+		g := got.Ducts[id]
+		if g == nil || *g != *w {
+			t.Fatalf("%s: duct %d = %+v, want %+v", label, id, g, w)
+		}
+	}
+	if len(got.Amps) != len(want.Amps) {
+		t.Fatalf("%s: %d amp sites != %d", label, len(got.Amps), len(want.Amps))
+	}
+	for v, w := range want.Amps {
+		if got.Amps[v] != w {
+			t.Fatalf("%s: amps[%d] = %d, want %d", label, v, got.Amps[v], w)
+		}
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("%s: %d paths != %d", label, len(got.Paths), len(want.Paths))
+	}
+	for pair, w := range want.Paths {
+		g := got.Paths[pair]
+		if g == nil {
+			t.Fatalf("%s: pair %v missing", label, pair)
+		}
+		if g.Pair != w.Pair || g.TotalKM != w.TotalKM ||
+			!intsEqual(g.Nodes, w.Nodes) || !intsEqual(g.Ducts, w.Ducts) ||
+			!intsEqual(g.AmpNodes, w.AmpNodes) || !intsEqual(g.Bypassed, w.Bypassed) ||
+			!intsEqual(g.CutDucts, w.CutDucts) {
+			t.Fatalf("%s: pair %v path = %+v, want %+v", label, pair, g, w)
+		}
+	}
+	if len(got.Cuts) != len(want.Cuts) {
+		t.Fatalf("%s: %d cut-throughs != %d", label, len(got.Cuts), len(want.Cuts))
+	}
+	for i := range want.Cuts {
+		w, g := want.Cuts[i], got.Cuts[i]
+		if g.From != w.From || g.To != w.To || g.Pairs != w.Pairs ||
+			!intsEqual(g.Ducts, w.Ducts) || !intsEqual(g.Interior, w.Interior) {
+			t.Fatalf("%s: cut-through %d = %+v, want %+v", label, i, g, w)
+		}
+	}
+	if len(got.SLA) != len(want.SLA) {
+		t.Fatalf("%s: %d SLA records != %d", label, len(got.SLA), len(want.SLA))
+	}
+	for i := range want.SLA {
+		w, g := want.SLA[i], got.SLA[i]
+		if g.Pair != w.Pair || g.TotalKM != w.TotalKM || !intsEqual(g.Cuts, w.Cuts) {
+			t.Fatalf("%s: SLA %d = %+v, want %+v", label, i, g, w)
+		}
+	}
+	if len(got.Viol) != len(want.Viol) {
+		t.Fatalf("%s: %d violations != %d", label, len(got.Viol), len(want.Viol))
+	}
+	for i := range want.Viol {
+		if got.Viol[i] != want.Viol[i] {
+			t.Fatalf("%s: viol %d = %q, want %q", label, i, got.Viol[i], want.Viol[i])
+		}
+	}
+}
+
+// A reused Planner must return bit-identical plans to fresh solves, across
+// seeds, capacity changes, tolerance changes and interleaved regions —
+// both the fingerprint-hit path (same region re-solved) and the miss path
+// (workspace rebuilt) are exercised by one shared instance.
+func TestPlannerReuseBitIdentical(t *testing.T) {
+	shared := NewPlanner()
+	solve := func(in Input, label string) {
+		t.Helper()
+		want, err := New(in)
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", label, err)
+		}
+		got, err := shared.Plan(in)
+		if err != nil {
+			t.Fatalf("%s: reused: %v", label, err)
+		}
+		plansIdentical(t, label, want, got)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		a := arenaInput(t, seed, 6, 8, 1)
+		b := arenaInput(t, seed+100, 5, 16, 1)
+		solve(a, "A first")
+		solve(a, "A re-solved (fingerprint hit)")
+		solve(b, "B after A (fingerprint miss)")
+		solve(a, "A after B (fingerprint miss)")
+		af := a
+		af.MaxFailures = 0
+		solve(af, "A tolerance change")
+		ac := arenaInput(t, seed, 6, 16, 1)
+		solve(ac, "A capacity change")
+	}
+	// Centralized designs route differently; cover the hub path too.
+	in := arenaInput(t, 2, 5, 8, 1)
+	h1, h2 := fibermap.ChooseHubs(in.Map, 5)
+	in.ViaHubs = []int{h1, h2}
+	solve(in, "centralized")
+}
+
+// A warmed Planner re-solving the same region must not allocate: the
+// whole pipeline — scenario DFS, routing, amplifier and cut-through
+// placement, hose-load lookups, provisioning, output maps — runs on the
+// retained arena.
+func TestPlannerSteadyStateZeroAlloc(t *testing.T) {
+	in := arenaInput(t, 1, 6, 8, 1)
+	p := NewPlanner()
+	if _, err := p.Plan(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(in); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := p.Plan(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warmed Planner.Plan allocated %v per run, want 0", avg)
+	}
+}

@@ -3,9 +3,6 @@ package plan
 import (
 	"fmt"
 	"math"
-	"sort"
-
-	"iris/internal/hose"
 )
 
 // placeCutThroughs resolves reconfiguration-budget violations (TC4: too
@@ -14,150 +11,155 @@ import (
 // without being switched (Appendix A). Candidates are scored by paths
 // resolved per duct of extra fiber; the best is built, affected paths mark
 // the bypassed nodes, and the loop repeats until no violations remain.
-func (p *planner) placeCutThroughs(paths []*pathRec) error {
+//
+// A candidate's identity — (from, to, duct sequence) — is interned per
+// iteration in p.ctIter; the committed cut-throughs of the whole solve
+// are interned in p.ctAll with their duct and interior lists in flat
+// slabs, so the loop allocates nothing once the planner is warm.
+func (p *Planner) placeCutThroughs(recs []pathRec) error {
 	for iter := 0; ; iter++ {
-		if iter > len(paths)*8 {
+		if iter > len(recs)*8 {
 			return fmt.Errorf("plan: cut-through placement did not converge")
 		}
-		var pending []*pathRec
-		for _, pr := range paths {
-			if reconfigViolated(pr) {
-				pending = append(pending, pr)
+		pend := p.pend[:0]
+		for i := range recs {
+			if reconfigViolated(&recs[i]) {
+				pend = append(pend, int32(i))
 			}
 		}
-		if len(pending) == 0 {
+		p.pend = pend
+		if len(pend) == 0 {
 			return nil
 		}
 
-		type candidate struct {
-			key      string
-			from, to int
-			interior []int
-			ducts    []int
-			resolves []*pathRec
+		p.ctIter.reset()
+		p.ctIterCands = p.ctIterCands[:0]
+		p.ctIterInterior = p.ctIterInterior[:0]
+		for _, ri := range pend {
+			p.cutCandidates(recs, ri)
 		}
-		cands := make(map[string]*candidate)
-		for _, pr := range pending {
-			for _, c := range cutCandidates(pr) {
-				key := ctKey(c.from, c.to, c.ducts)
-				cc, ok := cands[key]
-				if !ok {
-					cc = &candidate{key: key, from: c.from, to: c.to, interior: c.interior, ducts: c.ducts}
-					cands[key] = cc
-				}
-				cc.resolves = append(cc.resolves, pr)
-			}
-		}
-		if len(cands) == 0 {
-			for _, pr := range pending {
+		if len(p.ctIterCands) == 0 {
+			for _, ri := range pend {
+				pr := &recs[ri]
 				p.plan.Viol = append(p.plan.Viol, fmt.Sprintf(
 					"pair %d-%d: no cut-through can satisfy TC4", pr.pair.A, pr.pair.B))
 			}
 			return nil
 		}
 
-		// Deterministic greedy choice: paths resolved per duct of fiber.
-		keys := make([]string, 0, len(cands))
-		for k := range cands {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		var best *candidate
+		// Deterministic greedy choice: paths resolved per duct of fiber,
+		// ties broken by the packed-key order (packedCmp) so the choice
+		// matches a sorted sweep with strict improvement.
+		best := -1
 		var bestScore float64
-		for _, k := range keys {
-			c := cands[k]
-			score := float64(len(c.resolves)) / float64(len(c.ducts))
-			if best == nil || score > bestScore {
-				best, bestScore = c, score
+		for ci := range p.ctIterCands {
+			key := p.ctIter.key(ci)
+			score := float64(len(p.ctResolve[ci])) / float64(len(key)-2)
+			if best < 0 || score > bestScore ||
+				(score == bestScore && packedCmp(key, p.ctIter.key(best)) < 0) {
+				best, bestScore = ci, score
 			}
 		}
 
-		for _, pr := range best.resolves {
-			for _, n := range best.interior {
-				pr.bypass[n] = true
+		bc := &p.ctIterCands[best]
+		key := p.ctIter.key(best)
+		ducts := key[2:]
+		interior := p.ctIterInterior[bc.intOff : bc.intOff+bc.intLen]
+		for _, ri := range p.ctResolve[best] {
+			pr := &recs[ri]
+			for _, n := range interior {
+				if !pr.bypassed(n) {
+					pr.bypass = append(pr.bypass, n)
+				}
 			}
-			for _, d := range best.ducts {
-				pr.cutDucts[d] = true
+			for _, d := range ducts {
+				if !pr.onCutThrough(int(d)) {
+					pr.cutDucts = append(pr.cutDucts, int(d))
+				}
 			}
 		}
 
 		// Fiber on the cut-through: worst-case load of the pairs using it,
 		// maximised across scenarios (the link is physical infrastructure).
-		var pairs []hose.Pair
-		for _, pr := range best.resolves {
-			pairs = append(pairs, pr.pair)
+		p.idxBuf = p.idxBuf[:0]
+		for _, ri := range p.ctResolve[best] {
+			p.idxBuf = append(p.idxBuf, recs[ri].pairIdx)
 		}
-		need := int(math.Ceil(hose.WorstCaseLoad(p.caps, pairs) - 1e-9))
-		ct, ok := p.cuts[best.key]
-		if !ok {
-			ct = &CutThrough{From: best.from, To: best.to,
-				Ducts: best.ducts, Interior: best.interior}
-			p.cuts[best.key] = ct
+		need := int(math.Ceil(p.cachedLoad(p.idxBuf) - 1e-9))
+		id, added := p.ctAll.intern(key)
+		if added {
+			ct := ctRec{
+				from: int(key[0]), to: int(key[1]),
+				ductOff: int32(len(p.ctDuctSlab)), intOff: int32(len(p.ctIntSlab)),
+			}
+			for _, d := range ducts {
+				p.ctDuctSlab = append(p.ctDuctSlab, int(d))
+			}
+			for _, n := range interior {
+				p.ctIntSlab = append(p.ctIntSlab, n)
+			}
+			ct.ductLen = int32(len(ducts))
+			ct.intLen = int32(len(interior))
+			p.ctRecs = append(p.ctRecs, ct)
 		}
-		if need > ct.Pairs {
-			delta := need - ct.Pairs
-			ct.Pairs = need
-			for _, d := range best.ducts {
-				p.ductUse(d).CutThroughPairs += delta
+		ct := &p.ctRecs[id]
+		if need > ct.pairs {
+			delta := need - ct.pairs
+			ct.pairs = need
+			for _, d := range ducts {
+				p.ductUse(int(d)).CutThroughPairs += delta
 			}
 		}
 	}
 }
 
-type cutCand struct {
-	from, to int
-	interior []int
-	ducts    []int
-}
-
 // cutCandidates enumerates the contiguous runs of switched interior nodes
-// a cut-through could bypass on this path. The amplified node cannot be
-// bypassed (the path needs its amplifier). Candidates need not resolve the
-// violation outright — the greedy loop applies cut-throughs until the
-// budget is met, and full bypassing always fits it (at most two terminal
-// plus two loopback OSS traversals remain).
-func cutCandidates(pr *pathRec) []cutCand {
+// a cut-through could bypass on path ri, interning each candidate's
+// identity in p.ctIter and recording the path against it. The amplified
+// node cannot be bypassed (the path needs its amplifier). Candidates need
+// not resolve the violation outright — the greedy loop applies
+// cut-throughs until the budget is met, and full bypassing always fits it
+// (at most two terminal plus two loopback OSS traversals remain). The
+// first path to propose a candidate fixes its interior, matching the
+// map-based planner's first-writer-wins behaviour.
+func (p *Planner) cutCandidates(recs []pathRec, ri int32) {
+	pr := &recs[ri]
 	n := len(pr.nodes)
-	var out []cutCand
 	for i := 0; i < n-1; i++ {
 		for j := i + 2; j < n; j++ {
 			// Bypass interior nodes strictly between nodes[i] and nodes[j].
-			var interior []int
+			p.tmpInterior = p.tmpInterior[:0]
 			valid := true
 			for _, v := range pr.nodes[i+1 : j] {
 				if v == pr.ampNode {
 					valid = false
 					break
 				}
-				if pr.bypass[v] {
+				if pr.bypassed(v) {
 					continue // already bypassed; no gain from this run
 				}
-				interior = append(interior, v)
+				p.tmpInterior = append(p.tmpInterior, v)
 			}
-			if !valid || len(interior) == 0 {
+			if !valid || len(p.tmpInterior) == 0 {
 				continue
 			}
-			var ducts []int
+			p.tmpKey = append(p.tmpKey[:0], int32(pr.nodes[i]), int32(pr.nodes[j]))
 			for k := i; k < j; k++ {
-				ducts = append(ducts, pr.ducts[k].ID)
+				p.tmpKey = append(p.tmpKey, int32(pr.ducts[k].ID))
 			}
-			out = append(out, cutCand{
-				from: pr.nodes[i], to: pr.nodes[j],
-				interior: interior, ducts: ducts,
-			})
+			id, added := p.ctIter.intern(p.tmpKey)
+			if added {
+				p.ctIterCands = append(p.ctIterCands, ctIterCand{
+					intOff: int32(len(p.ctIterInterior)),
+					intLen: int32(len(p.tmpInterior)),
+				})
+				p.ctIterInterior = append(p.ctIterInterior, p.tmpInterior...)
+				if id >= len(p.ctResolve) {
+					p.ctResolve = append(p.ctResolve, nil)
+				}
+				p.ctResolve[id] = p.ctResolve[id][:0]
+			}
+			p.ctResolve[id] = append(p.ctResolve[id], ri)
 		}
 	}
-	return out
-}
-
-// ctKey identifies a cut-through by endpoints and duct sequence. It is on
-// the planner's hot path, so it packs the IDs as compact 16-bit values
-// rather than formatting text.
-func ctKey(from, to int, ducts []int) string {
-	b := make([]byte, 0, 4+2*len(ducts))
-	b = append(b, byte(from), byte(from>>8), byte(to), byte(to>>8))
-	for _, d := range ducts {
-		b = append(b, byte(d), byte(d>>8))
-	}
-	return string(b)
 }

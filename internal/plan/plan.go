@@ -23,7 +23,6 @@ package plan
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -189,8 +188,16 @@ type StageTiming struct {
 var stageOrder = []string{"route", "amps", "cutthrough", "provision", "total"}
 
 // Plan is the planner output.
+//
+// A Plan produced by New owns its storage and stays valid indefinitely.
+// A Plan produced by a reused Planner aliases the planner's arena: it is
+// valid until that planner's next Plan call (see Planner).
 type Plan struct {
-	Input  Input
+	Input Input
+	// DCs lists the region's DC node IDs in ascending order, as planning
+	// saw them. Cost models iterate it instead of re-deriving the list
+	// from the map.
+	DCs    []int
 	Ducts  map[int]*DuctUse // keyed by duct ID; only ducts with any use
 	Paths  map[hose.Pair]*PathInfo
 	Amps   map[int]int // node ID -> amplifier count
@@ -206,421 +213,46 @@ type Plan struct {
 // New plans a region. It returns an error for invalid input or if the
 // fiber map cannot satisfy the constraints at all (e.g. a DC pair whose
 // only paths exceed the amplifier budget).
+//
+// New is the one-shot form of Planner: it runs a fresh workspace and
+// never reuses it, so the returned Plan owns its storage. Callers that
+// plan repeatedly should hold a Planner and amortize the arena instead.
 func New(in Input) (*Plan, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	p := &planner{
-		in:    in,
-		ducts: make(map[int]*DuctUse),
-		amps:  make(map[int]int),
-		cuts:  make(map[string]*CutThrough),
-	}
-	return p.run()
+	return NewPlanner().Plan(in)
 }
 
-type planner struct {
-	in    Input
-	base  *graph.Graph
-	dcs   []int
-	caps  map[int]float64 // DC -> capacity in fiber-pairs (float for hose)
-	ducts map[int]*DuctUse
-	amps  map[int]int
-	cuts  map[string]*CutThrough
-	plan  *Plan
-	// hoseCache memoises worst-case hose loads by pair-set signature;
-	// most failure scenarios reproduce the same per-duct pair sets.
-	hoseCache map[string]float64
-	// stages accumulates per-stage wall time across scenarios.
-	stages map[string]*StageTiming
-}
-
-// timeStage adds the elapsed time since start to a stage's accumulator.
-func (p *planner) timeStage(name string, start time.Time) {
-	st := p.stages[name]
-	if st == nil {
-		st = &StageTiming{Stage: name}
-		p.stages[name] = st
-	}
-	st.Duration += time.Since(start)
-	st.Calls++
-}
-
-// finishStages freezes the accumulated stage timings into the plan (in
-// stageOrder) and, when the input carries a span, records one child span
-// per stage with the aggregated duration.
-func (p *planner) finishStages(t0 time.Time) {
-	p.stages["total"] = &StageTiming{Stage: "total", Duration: time.Since(t0), Calls: 1}
-	for _, name := range stageOrder {
-		if st := p.stages[name]; st != nil {
-			p.plan.Stages = append(p.plan.Stages, *st)
-		}
-	}
-	if p.in.Span == nil {
-		return
-	}
-	for _, st := range p.plan.Stages {
-		c := p.in.Span.Child(st.Stage)
-		c.SetAttr(fmt.Sprintf("calls=%d", st.Calls))
-		c.FinishAs(t0, st.Duration)
-	}
-}
-
-// pathRec is the per-scenario routing record for one DC pair.
+// pathRec is the per-scenario routing record for one DC pair. Its slices
+// live in the planner arena and are truncated, not reallocated, between
+// scenarios.
 type pathRec struct {
 	pair    hose.Pair
+	pairIdx int32 // dense index into the planner's pair table
 	nodes   []int
 	ducts   []graph.Edge
 	totalKM float64
-	ampNode int          // node carrying this path's inline amplifier, or -1
-	bypass  map[int]bool // interior nodes bypassed by a cut-through
-	// cutDucts marks ducts whose switched base capacity this pair does not
+	ampNode int   // node carrying this path's inline amplifier, or -1
+	bypass  []int // interior nodes bypassed by a cut-through (unordered, unique)
+	// cutDucts lists ducts whose switched base capacity this pair does not
 	// consume because its traffic rides a cut-through fiber there instead.
-	cutDucts map[int]bool
+	cutDucts []int
 }
 
-func (p *planner) run() (*Plan, error) {
-	t0 := time.Now()
-	p.stages = make(map[string]*StageTiming)
-	m := p.in.Map
-	p.dcs = m.DCs()
-	p.caps = make(map[int]float64, len(p.dcs))
-	for _, dc := range p.dcs {
-		p.caps[dc] = float64(p.in.Capacity[dc])
-	}
-
-	p.base = p.in.Base
-	if p.base == nil {
-		p.base = BaseGraph(m)
-	}
-
-	p.plan = &Plan{
-		Input: p.in,
-		Ducts: p.ducts,
-		Paths: make(map[hose.Pair]*PathInfo),
-		Amps:  p.amps,
-	}
-
-	// Reject regions that are disconnected even before any failure.
-	full := p.base
-	labels := full.Components()
-	for _, dc := range p.dcs[1:] {
-		if labels[dc] != labels[p.dcs[0]] {
-			return nil, fmt.Errorf("plan: DCs %d and %d are not connected by usable ducts", p.dcs[0], dc)
+func (pr *pathRec) bypassed(v int) bool {
+	for _, b := range pr.bypass {
+		if b == v {
+			return true
 		}
 	}
-
-	// Pruned scenario enumeration: a cut of a duct that no chosen path
-	// uses leaves every path — and hence all provisioning — unchanged, so
-	// only used ducts need be considered for the next cut. With
-	// deterministic tie-breaking, removing an unused duct cannot alter
-	// which paths Dijkstra selects, making the pruning exact.
-	seen := make(map[string]bool)
-	p.hoseCache = make(map[string]float64)
-	cut := make(map[int]bool, p.in.MaxFailures)
-	var visit func() error
-	visit = func() error {
-		key := cutKey(cut)
-		if seen[key] {
-			return nil
-		}
-		seen[key] = true
-		p.plan.NScena++
-		used, err := p.scenario(cut)
-		if err != nil {
-			return err
-		}
-		if len(cut) >= p.in.MaxFailures {
-			return nil
-		}
-		sort.Ints(used)
-		for _, d := range used {
-			if cut[d] {
-				continue
-			}
-			cut[d] = true
-			if err := visit(); err != nil {
-				return err
-			}
-			delete(cut, d)
-		}
-		return nil
-	}
-	if err := visit(); err != nil {
-		return nil, err
-	}
-	sortCutThroughs(p)
-	p.finishStages(t0)
-	return p.plan, nil
+	return false
 }
 
-func cutKey(cut map[int]bool) string {
-	ids := make([]int, 0, len(cut))
-	for id := range cut {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return fmt.Sprint(ids)
-}
-
-// scenario processes one failure scenario end to end: routing, capacity,
-// amplifiers and cut-throughs. It returns the duct IDs used by any chosen
-// path, which drives the pruned scenario enumeration.
-func (p *planner) scenario(cut map[int]bool) ([]int, error) {
-	g := p.base
-	if len(cut) > 0 {
-		g = p.base.WithoutEdges(cut)
-	}
-
-	start := time.Now()
-	paths := p.routeAll(g, cut)
-	p.timeStage("route", start)
-
-	start = time.Now()
-	if err := p.placeAmps(paths); err != nil {
-		return nil, err
-	}
-	p.timeStage("amps", start)
-
-	start = time.Now()
-	if err := p.placeCutThroughs(paths); err != nil {
-		return nil, err
-	}
-	p.timeStage("cutthrough", start)
-
-	// Provisioning runs after cut-through placement: traffic on a
-	// cut-through fiber does not also consume switched base capacity on
-	// the ducts it bypasses.
-	start = time.Now()
-	p.provision(paths)
-	p.timeStage("provision", start)
-	if len(cut) == 0 {
-		p.recordBasePaths(paths)
-	}
-
-	usedSet := make(map[int]bool)
-	for _, pr := range paths {
-		for _, e := range pr.ducts {
-			usedSet[e.ID] = true
+func (pr *pathRec) onCutThrough(duct int) bool {
+	for _, d := range pr.cutDucts {
+		if d == duct {
+			return true
 		}
 	}
-	used := make([]int, 0, len(usedSet))
-	for id := range usedSet {
-		used = append(used, id)
-	}
-	return used, nil
-}
-
-// routeAll computes every DC pair's route in g — shortest path in the
-// distributed design, best DC-hub-DC path in the centralized one —
-// skipping pairs disconnected by the cuts and recording SLA overruns.
-func (p *planner) routeAll(g *graph.Graph, cut map[int]bool) []*pathRec {
-	var paths []*pathRec
-	record := func(a, b int, nodes []int, edges []graph.Edge, total float64) {
-		if total > optics.MaxPathKM+1e-9 {
-			cuts := make([]int, 0, len(cut))
-			for id := range cut {
-				cuts = append(cuts, id)
-			}
-			sort.Ints(cuts)
-			p.plan.SLA = append(p.plan.SLA, SLAViolation{
-				Pair: hose.Pair{A: a, B: b}, Cuts: cuts, TotalKM: total,
-			})
-		}
-		paths = append(paths, &pathRec{
-			pair:     hose.Pair{A: a, B: b},
-			nodes:    nodes,
-			ducts:    edges,
-			totalKM:  total,
-			ampNode:  -1,
-			bypass:   make(map[int]bool),
-			cutDucts: make(map[int]bool),
-		})
-	}
-
-	if len(p.in.ViaHubs) > 0 {
-		hubTrees := make(map[int]*graph.ShortestPathTree, len(p.in.ViaHubs))
-		for _, h := range p.in.ViaHubs {
-			hubTrees[h] = g.Dijkstra(h)
-		}
-		for i, a := range p.dcs {
-			for _, b := range p.dcs[i+1:] {
-				nodes, edges, total, ok := bestHubPath(hubTrees, p.in.ViaHubs, a, b)
-				if !ok {
-					continue
-				}
-				record(a, b, nodes, edges, total)
-			}
-		}
-		return paths
-	}
-
-	trees := make(map[int]*graph.ShortestPathTree, len(p.dcs))
-	for _, dc := range p.dcs {
-		trees[dc] = g.Dijkstra(dc)
-	}
-	for i, a := range p.dcs {
-		for _, b := range p.dcs[i+1:] {
-			nodes, edges, ok := trees[a].PathTo(b)
-			if !ok {
-				continue // cut disconnected this pair; no guarantee owed
-			}
-			record(a, b, nodes, edges, trees[a].Dist[b])
-		}
-	}
-	return paths
-}
-
-// bestHubPath returns the shortest DC-hub-DC walk over the given hubs.
-// The two legs may share ducts (e.g. both DCs behind the same trunk): the
-// result is then a walk that crosses those ducts twice, and provisioning
-// accounts for the double crossing.
-func bestHubPath(trees map[int]*graph.ShortestPathTree, hubs []int, a, b int) (nodes []int, edges []graph.Edge, total float64, ok bool) {
-	best := graph.Inf
-	for _, h := range hubs {
-		t := trees[h]
-		d := t.Dist[a] + t.Dist[b]
-		if d >= best || d >= graph.Inf {
-			continue
-		}
-		nodesA, edgesA, okA := t.PathTo(a)
-		nodesB, edgesB, okB := t.PathTo(b)
-		if !okA || !okB {
-			continue
-		}
-		// Leg A reversed (a → hub) followed by leg B (hub → b).
-		var ns []int
-		for i := len(nodesA) - 1; i >= 0; i-- {
-			ns = append(ns, nodesA[i])
-		}
-		ns = append(ns, nodesB[1:]...)
-		var es []graph.Edge
-		for i := len(edgesA) - 1; i >= 0; i-- {
-			es = append(es, edgesA[i])
-		}
-		es = append(es, edgesB...)
-		nodes, edges, total, ok = ns, es, d, true
-		best = d
-	}
-	return nodes, edges, total, ok
-}
-
-// provision applies the Algorithm 1 capacity rule and the §4.3 residual
-// rule for one scenario, taking per-duct maxima against prior scenarios.
-// Pairs riding a cut-through contribute no switched base capacity to the
-// ducts it covers (the cut-through fiber carries them), but their residual
-// fiber still follows the full path.
-//
-// Centralized (via-hub) walks may cross a duct more than once; each extra
-// crossing is provisioned at the pair's full hose demand, a sound upper
-// bound on the exact (weighted) worst case.
-func (p *planner) provision(paths []*pathRec) {
-	crossings := make(map[int]map[hose.Pair]int)
-	residualByDuct := make(map[int]int)
-	for _, pr := range paths {
-		for _, e := range pr.ducts {
-			residualByDuct[e.ID]++
-			if !pr.cutDucts[e.ID] {
-				byPair := crossings[e.ID]
-				if byPair == nil {
-					byPair = make(map[hose.Pair]int)
-					crossings[e.ID] = byPair
-				}
-				byPair[pr.pair]++
-			}
-		}
-	}
-	for ductID, byPair := range crossings {
-		pairs := make([]hose.Pair, 0, len(byPair))
-		extra := 0.0
-		for pair, k := range byPair {
-			pairs = append(pairs, pair)
-			if k > 1 {
-				extra += float64(k-1) * math.Min(p.caps[pair.A], p.caps[pair.B])
-			}
-		}
-		load := p.cachedLoad(pairs) + extra
-		basePairs := int(math.Ceil(load - 1e-9))
-		du := p.ductUse(ductID)
-		if basePairs > du.BasePairs {
-			du.BasePairs = basePairs
-		}
-	}
-	for ductID, n := range residualByDuct {
-		du := p.ductUse(ductID)
-		if n > du.ResidualPairs {
-			du.ResidualPairs = n
-		}
-	}
-}
-
-// cachedLoad memoises hose.WorstCaseLoad over the planner's fixed DC
-// capacities, keyed by the (sorted) pair-set signature.
-func (p *planner) cachedLoad(pairs []hose.Pair) float64 {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
-		}
-		return pairs[i].B < pairs[j].B
-	})
-	key := make([]byte, 0, 4*len(pairs))
-	for _, pr := range pairs {
-		key = append(key,
-			byte(pr.A), byte(pr.A>>8),
-			byte(pr.B), byte(pr.B>>8))
-	}
-	if load, ok := p.hoseCache[string(key)]; ok {
-		return load
-	}
-	load := hose.WorstCaseLoad(p.caps, pairs)
-	p.hoseCache[string(key)] = load
-	return load
-}
-
-func (p *planner) ductUse(id int) *DuctUse {
-	du, ok := p.ducts[id]
-	if !ok {
-		du = &DuctUse{DuctID: id}
-		p.ducts[id] = du
-	}
-	return du
-}
-
-// recordBasePaths captures the failure-free paths for circuit setup.
-func (p *planner) recordBasePaths(paths []*pathRec) {
-	for _, pr := range paths {
-		info := &PathInfo{
-			Pair:    pr.pair,
-			Nodes:   pr.nodes,
-			TotalKM: pr.totalKM,
-		}
-		for _, e := range pr.ducts {
-			info.Ducts = append(info.Ducts, e.ID)
-		}
-		if pr.ampNode >= 0 {
-			info.AmpNodes = append(info.AmpNodes, pr.ampNode)
-		}
-		for n := range pr.bypass {
-			info.Bypassed = append(info.Bypassed, n)
-		}
-		sort.Ints(info.Bypassed)
-		for d := range pr.cutDucts {
-			info.CutDucts = append(info.CutDucts, d)
-		}
-		sort.Ints(info.CutDucts)
-		p.plan.Paths[pr.pair] = info
-	}
-}
-
-func sortCutThroughs(p *planner) {
-	keys := make([]string, 0, len(p.cuts))
-	for k := range p.cuts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		p.plan.Cuts = append(p.plan.Cuts, *p.cuts[k])
-	}
+	return false
 }
 
 // EvaluatePath re-evaluates the stored failure-free path of a DC pair
@@ -636,7 +268,7 @@ func (pl *Plan) EvaluatePath(pair hose.Pair) (optics.PathEval, bool) {
 		nodes:   info.Nodes,
 		totalKM: info.TotalKM,
 		ampNode: -1,
-		bypass:  make(map[int]bool),
+		bypass:  info.Bypassed,
 	}
 	for _, id := range info.Ducts {
 		d := pl.Input.Map.Ducts[id]
@@ -644,9 +276,6 @@ func (pl *Plan) EvaluatePath(pair hose.Pair) (optics.PathEval, bool) {
 	}
 	if len(info.AmpNodes) > 0 {
 		pr.ampNode = info.AmpNodes[0]
-	}
-	for _, n := range info.Bypassed {
-		pr.bypass[n] = true
 	}
 	return optics.Evaluate(elementsFor(pr)), true
 }
